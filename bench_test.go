@@ -1,0 +1,233 @@
+package topoctl
+
+// Benchmark harness: one benchmark per experiment of DESIGN.md §4 (the
+// tables recorded in EXPERIMENTS.md), plus micro-benchmarks for the core
+// building blocks. Experiment benchmarks run the exp suite in Quick mode so
+// `go test -bench=.` regenerates every table's workload; run
+// `go run ./cmd/experiments` for the full-size tables.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"topoctl/internal/baseline"
+	"topoctl/internal/core"
+	"topoctl/internal/dist"
+	"topoctl/internal/exp"
+	"topoctl/internal/geom"
+	"topoctl/internal/greedy"
+	"topoctl/internal/metrics"
+	"topoctl/internal/netio"
+	"topoctl/internal/routing"
+	"topoctl/internal/ubg"
+)
+
+// benchExperiment runs one experiment table per iteration and reports a
+// one-line digest so the bench log doubles as a sanity record.
+func benchExperiment(b *testing.B, f func(exp.Config) (*exp.Table, error)) {
+	b.Helper()
+	cfg := exp.Config{Quick: true}
+	for i := 0; i < b.N; i++ {
+		t, err := f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s: %d rows", t.ID, len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkExpT1Stretch(b *testing.B)    { benchExperiment(b, exp.T1Stretch) }
+func BenchmarkExpT2Degree(b *testing.B)     { benchExperiment(b, exp.T2Degree) }
+func BenchmarkExpT3Weight(b *testing.B)     { benchExperiment(b, exp.T3Weight) }
+func BenchmarkExpT4Rounds(b *testing.B)     { benchExperiment(b, exp.T4Rounds) }
+func BenchmarkExpT5Baselines(b *testing.B)  { benchExperiment(b, exp.T5Baselines) }
+func BenchmarkExpT6Alpha(b *testing.B)      { benchExperiment(b, exp.T6Alpha) }
+func BenchmarkExpT7Dimension(b *testing.B)  { benchExperiment(b, exp.T7Dimension) }
+func BenchmarkExpT8Power(b *testing.B)      { benchExperiment(b, exp.T8Power) }
+func BenchmarkExpT9Fault(b *testing.B)      { benchExperiment(b, exp.T9Fault) }
+func BenchmarkExpT10Energy(b *testing.B)    { benchExperiment(b, exp.T10Energy) }
+func BenchmarkExpT11SeqVsDist(b *testing.B) { benchExperiment(b, exp.T11SeqVsDist) }
+func BenchmarkExpT12Ablation(b *testing.B)  { benchExperiment(b, exp.T12Ablation) }
+func BenchmarkExpT13Clouds(b *testing.B)    { benchExperiment(b, exp.T13Clouds) }
+func BenchmarkExpT14Messages(b *testing.B)  { benchExperiment(b, exp.T14Messages) }
+
+func BenchmarkExpF1CzumajZhao(b *testing.B)   { benchExperiment(b, exp.F1CzumajZhao) }
+func BenchmarkExpF2ClusterGraph(b *testing.B) { benchExperiment(b, exp.F2ClusterGraph) }
+func BenchmarkExpF4Leapfrog(b *testing.B)     { benchExperiment(b, exp.F4Leapfrog) }
+func BenchmarkExpF5Doubling(b *testing.B)     { benchExperiment(b, exp.F5Doubling) }
+
+// --- micro-benchmarks ---
+
+func benchInstance(b *testing.B, n int) *ubg.Instance {
+	b.Helper()
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Seed: 1},
+		ubg.Config{Alpha: 0.75, Model: ubg.ModelAll, Seed: 1},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkCoreBuild measures the sequential relaxed greedy across n.
+func BenchmarkCoreBuild(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := benchInstance(b, n)
+			p, err := core.NewParams(0.5, 0.75, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(inst.Points, inst.G, core.Options{Params: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistBuild measures the distributed pipeline (simulation included).
+func BenchmarkDistBuild(b *testing.B) {
+	for _, n := range []int{64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := benchInstance(b, n)
+			p, err := core.NewParams(0.5, 0.75, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.Build(inst.Points, inst.G, dist.Options{Params: p, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeqGreedy measures the exact greedy baseline.
+func BenchmarkSeqGreedy(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := benchInstance(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				greedy.Spanner(inst.G, 1.5)
+			}
+		})
+	}
+}
+
+// BenchmarkBaselines measures each classical construction.
+func BenchmarkBaselines(b *testing.B) {
+	inst := benchInstance(b, 256)
+	for _, kind := range baseline.Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Build(kind, inst.Points, inst.G, baseline.Options{T: 1.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStretchVerification measures the exact stretch metric, the
+// workhorse of the test suite.
+func BenchmarkStretchVerification(b *testing.B) {
+	inst := benchInstance(b, 256)
+	sp := greedy.Spanner(inst.G, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := metrics.Stretch(inst.G, sp); s > 1.5+1e-9 {
+			b.Fatal("stretch violation")
+		}
+	}
+}
+
+// BenchmarkUBGBuild measures grid-accelerated network construction.
+func BenchmarkUBGBuild(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := geom.GeneratePoints(geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Side: 4, Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ubg.Build(pts, ubg.Config{Alpha: 0.75, Model: ubg.ModelAll}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouting measures the routing schemes over a spanner.
+func BenchmarkRouting(b *testing.B) {
+	inst := benchInstance(b, 256)
+	sp := greedy.Spanner(inst.G, 1.5)
+	router, err := routing.NewRouter(sp, inst.Points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := routing.RandomQueries(inst.G.N(), 50, 1)
+	for _, scheme := range []routing.Scheme{routing.SchemeShortestPath, routing.SchemeGreedy, routing.SchemeCompass} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := router.Evaluate(scheme, queries, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetIORoundTrip measures instance serialization.
+func BenchmarkNetIORoundTrip(b *testing.B) {
+	inst := benchInstance(b, 512)
+	in := &netio.Instance{Points: inst.Points, G: inst.G, Alpha: 0.75}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := netio.Write(&buf, in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netio.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEdgeConnectivity measures the fault-structure verifier.
+func BenchmarkEdgeConnectivity(b *testing.B) {
+	inst := benchInstance(b, 96)
+	sp := greedy.Spanner(inst.G, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if metrics.EdgeConnectivity(sp) < 1 {
+			b.Fatal("disconnected spanner")
+		}
+	}
+}
+
+// BenchmarkFaultTolerantBuild measures the k-fault-tolerant relaxed build.
+func BenchmarkFaultTolerantBuild(b *testing.B) {
+	inst := benchInstance(b, 96)
+	p, err := core.NewParams(0.5, 0.75, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(inst.Points, inst.G, core.Options{Params: p, FaultK: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,54 @@
+// Command experiments regenerates every table in EXPERIMENTS.md: the full
+// theorem-validation and figure-validation suite of DESIGN.md §4.
+//
+// Usage:
+//
+//	experiments [-quick] [-only T1-stretch,...] [-seed N]
+//
+// Output is plain text, one table per experiment, identical in format to
+// the blocks recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"topoctl/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced instance sizes")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all); see -list")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	seed := flag.Int64("seed", 0, "seed offset for all instances (0 = the recorded tables)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range exp.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	tables, err := exp.All(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsCLI compiles the harness and checks -list plus one quick
+// table run.
+func TestExperimentsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "T1-stretch") || !strings.Contains(string(out), "F5-doubling") {
+		t.Fatalf("-list incomplete:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-quick", "-only", "T2-degree").CombinedOutput()
+	if err != nil {
+		t.Fatalf("quick run: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "T2-degree") || !strings.Contains(s, "worst spanner maxdeg") {
+		t.Fatalf("table missing:\n%s", s)
+	}
+	if strings.Contains(s, "T1-stretch") {
+		t.Fatal("-only filter leaked other tables")
+	}
+}

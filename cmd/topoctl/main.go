@@ -1,0 +1,263 @@
+// Command topoctl builds and inspects topology-control structures on
+// synthetic α-UBG instances from the command line.
+//
+// Subcommands:
+//
+//	gen    generate an α-UBG instance and print/save it
+//	build  generate (or read) an instance, build a topology, report quality
+//	sweep  build every topology on one instance and print the comparison
+//	viz    export an instance (and optionally its spanner) as Graphviz DOT
+//
+// Examples:
+//
+//	topoctl gen -n 200 -alpha 0.75 -seed 1 -o net.ubg
+//	topoctl build -in net.ubg -eps 0.5 -algo relaxed
+//	topoctl build -n 200 -eps 0.5 -algo dist -v
+//	topoctl sweep -n 300 -alpha 1
+//	topoctl viz -n 150 -eps 0.5 -o net.dot     # render: neato -n -Tsvg net.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"topoctl"
+	"topoctl/internal/baseline"
+	"topoctl/internal/metrics"
+	"topoctl/internal/netio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "viz":
+		err = cmdViz(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "topoctl: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topoctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: topoctl <gen|build|sweep|viz> [flags]
+  gen    -n N -d D -alpha A -seed S [-o FILE]       generate an instance (netio text format)
+  build  [-in FILE | -n N] -eps E -algo KIND [-v]   build one topology and report quality
+         KIND: relaxed | dist | mst | yao | gabriel | rng | xtc | lmst | seq-greedy
+  sweep  -n N -alpha A [-eps E]                     compare every topology on one instance
+  viz    [-in FILE | -n N] [-eps E] -o FILE         export Graphviz DOT (spanner highlighted)`)
+}
+
+type genFlags struct {
+	n, d  int
+	alpha float64
+	seed  int64
+	in    string
+}
+
+func addGenFlags(fs *flag.FlagSet) *genFlags {
+	gf := &genFlags{}
+	fs.IntVar(&gf.n, "n", 200, "node count")
+	fs.IntVar(&gf.d, "d", 2, "dimension")
+	fs.Float64Var(&gf.alpha, "alpha", 0.75, "alpha in (0, 1]")
+	fs.Int64Var(&gf.seed, "seed", 1, "instance seed")
+	fs.StringVar(&gf.in, "in", "", "read the instance from this file instead of generating")
+	return gf
+}
+
+// network loads or generates the instance; reading a file overrides
+// generation flags (and alpha, when the file records one).
+func (gf *genFlags) network() (*topoctl.Network, error) {
+	if gf.in == "" {
+		return topoctl.RandomNetwork(topoctl.NetworkSpec{
+			N: gf.n, Dim: gf.d, Alpha: gf.alpha, Seed: gf.seed,
+		})
+	}
+	f, err := os.Open(gf.in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	inst, err := netio.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Alpha > 0 {
+		gf.alpha = inst.Alpha
+	}
+	if len(inst.Points) > 0 {
+		gf.d = inst.Points[0].Dim()
+	}
+	gf.n = len(inst.Points)
+	return &topoctl.Network{Points: inst.Points, Graph: inst.G}, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	gf := addGenFlags(fs)
+	out := fs.String("o", "", "write to this file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := gf.network()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return netio.Write(w, &netio.Instance{Points: net.Points, G: net.Graph, Alpha: gf.alpha})
+}
+
+func cmdViz(args []string) error {
+	fs := flag.NewFlagSet("viz", flag.ExitOnError)
+	gf := addGenFlags(fs)
+	eps := fs.Float64("eps", 0.5, "stretch slack for the highlighted spanner (0 = no spanner)")
+	out := fs.String("o", "", "output DOT file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := gf.network()
+	if err != nil {
+		return err
+	}
+	var highlight *topoctl.Graph
+	if *eps > 0 {
+		res, err := topoctl.Build(net.Points, net.Graph, topoctl.Options{Epsilon: *eps, Alpha: gf.alpha, Dim: gf.d})
+		if err != nil {
+			return err
+		}
+		highlight = res.Spanner
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return netio.WriteDOT(w, net.Points, net.Graph, highlight)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	gf := addGenFlags(fs)
+	eps := fs.Float64("eps", 0.5, "stretch slack (t = 1+eps)")
+	algo := fs.String("algo", "relaxed", "algorithm / baseline kind")
+	verbose := fs.Bool("v", false, "print per-step communication costs (dist only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := gf.network()
+	if err != nil {
+		return err
+	}
+	opts := topoctl.Options{Epsilon: *eps, Alpha: gf.alpha, Dim: gf.d, Seed: gf.seed}
+
+	var sp *topoctl.Graph
+	switch *algo {
+	case "relaxed":
+		res, err := topoctl.Build(net.Points, net.Graph, opts)
+		if err != nil {
+			return err
+		}
+		sp = res.Spanner
+		fmt.Printf("relaxed greedy: t=%.3f phases=%d added=%d removed=%d\n",
+			res.Stretch, res.Phases, res.EdgesAdded, res.EdgesRemoved)
+	case "dist":
+		res, err := topoctl.BuildDistributed(net.Points, net.Graph, opts)
+		if err != nil {
+			return err
+		}
+		sp = res.Spanner
+		fmt.Printf("distributed relaxed greedy: t=%.3f rounds=%d messages=%d words=%d\n",
+			res.Stretch, res.Rounds, res.Messages, res.Words)
+		if *verbose {
+			var steps []string
+			for s := range res.PerStep {
+				steps = append(steps, s)
+			}
+			sort.Strings(steps)
+			for _, s := range steps {
+				c := res.PerStep[s]
+				fmt.Printf("  %-22s rounds=%-6d messages=%-10d words=%d\n", s, c.Rounds, c.Messages, c.Words)
+			}
+		}
+	default:
+		kind, ok := baselineKind(*algo)
+		if !ok {
+			return fmt.Errorf("unknown algorithm %q", *algo)
+		}
+		sp, err = topoctl.Baseline(kind, net.Points, net.Graph, 1+*eps)
+		if err != nil {
+			return err
+		}
+	}
+	q := topoctl.Evaluate(net.Graph, sp)
+	fmt.Printf("input:  n=%d edges=%d maxdeg=%d\n", net.Graph.N(), net.Graph.M(), net.Graph.MaxDegree())
+	fmt.Printf("output: edges=%d maxdeg=%d avgdeg=%.2f stretch=%.4f w/mst=%.3f power/mst=%.3f\n",
+		q.Edges, q.MaxDegree, q.AvgDegree, q.Stretch, q.WeightRatio, q.PowerRatio)
+	return nil
+}
+
+func baselineKind(name string) (topoctl.BaselineKind, bool) {
+	for _, k := range baseline.Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	gf := addGenFlags(fs)
+	eps := fs.Float64("eps", 0.5, "stretch slack for the spanner algorithms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := gf.network()
+	if err != nil {
+		return err
+	}
+	res, err := topoctl.Build(net.Points, net.Graph, topoctl.Options{Epsilon: *eps, Alpha: gf.alpha, Dim: gf.d})
+	if err != nil {
+		return err
+	}
+	fmt.Println(metrics.Evaluate("relaxed-greedy", net.Graph, res.Spanner))
+	for _, kind := range baseline.Kinds() {
+		sp, err := topoctl.Baseline(kind, net.Points, net.Graph, 1+*eps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(metrics.Evaluate(kind.String(), net.Graph, sp))
+	}
+	fmt.Println(metrics.Evaluate("input", net.Graph, net.Graph))
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles the CLI once per test binary into a temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "topoctl")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("topoctl %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// TestCLIEndToEnd drives the full pipeline: generate to file, build from
+// the file (sequential and distributed), sweep, and visualize.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	ubgFile := filepath.Join(dir, "net.ubg")
+	dotFile := filepath.Join(dir, "net.dot")
+
+	run(t, bin, "gen", "-n", "60", "-alpha", "0.75", "-seed", "3", "-o", ubgFile)
+	data, err := os.ReadFile(ubgFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "ubg n=60 d=2 alpha=0.75") {
+		t.Fatalf("unexpected gen header: %.60s", data)
+	}
+
+	out := run(t, bin, "build", "-in", ubgFile, "-eps", "0.5", "-algo", "relaxed")
+	if !strings.Contains(out, "stretch=") || !strings.Contains(out, "relaxed greedy") {
+		t.Fatalf("build output missing fields:\n%s", out)
+	}
+
+	out = run(t, bin, "build", "-in", ubgFile, "-eps", "0.5", "-algo", "dist", "-v")
+	if !strings.Contains(out, "rounds=") || !strings.Contains(out, "phase/gather") {
+		t.Fatalf("dist build output missing fields:\n%s", out)
+	}
+
+	out = run(t, bin, "build", "-in", ubgFile, "-algo", "yao")
+	if !strings.Contains(out, "output:") {
+		t.Fatalf("baseline build output missing fields:\n%s", out)
+	}
+
+	out = run(t, bin, "sweep", "-n", "50", "-alpha", "1", "-seed", "2")
+	for _, want := range []string{"relaxed-greedy", "mst", "yao", "gabriel", "rng", "xtc", "lmst", "seq-greedy", "input"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep missing %q:\n%s", want, out)
+		}
+	}
+
+	run(t, bin, "viz", "-in", ubgFile, "-eps", "0.5", "-o", dotFile)
+	dot, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(dot), "graph topoctl {") {
+		t.Fatalf("viz output not DOT: %.40s", dot)
+	}
+}
+
+// TestCLIErrors: bad usage must exit non-zero.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := buildBinary(t)
+	for _, args := range [][]string{
+		{"bogus"},
+		{"build", "-in", "/nonexistent.ubg"},
+		{"build", "-n", "30", "-algo", "no-such-algo"},
+	} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("topoctl %v should fail", args)
+		}
+	}
+}

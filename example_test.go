@@ -1,0 +1,52 @@
+package topoctl_test
+
+import (
+	"fmt"
+	"log"
+
+	"topoctl"
+)
+
+// ExampleBuild demonstrates the core workflow: generate an α-UBG, build a
+// (1+ε)-spanner, and verify its quality.
+func ExampleBuild() {
+	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: 150, Dim: 2, Alpha: 0.75, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := topoctl.Build(net.Points, net.Graph, topoctl.Options{Epsilon: 0.5, Alpha: 0.75})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := topoctl.Evaluate(net.Graph, res.Spanner)
+	fmt.Printf("stretch within guarantee: %v\n", q.Stretch <= res.Stretch)
+	fmt.Printf("sparser than input: %v\n", q.Edges < net.Graph.M())
+	fmt.Printf("constant degree band: %v\n", q.MaxDegree <= 10)
+	// Output:
+	// stretch within guarantee: true
+	// sparser than input: true
+	// constant degree band: true
+}
+
+// ExampleNewRouter routes packets over a built spanner.
+func ExampleNewRouter() {
+	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: 100, Dim: 2, Alpha: 0.8, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := topoctl.Build(net.Points, net.Graph, topoctl.Options{Epsilon: 0.5, Alpha: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := topoctl.NewRouter(res.Spanner, net.Points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	route, err := router.Route(topoctl.RouteShortestPath, 0, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered: %v, hops > 0: %v\n", route.Delivered, route.Hops() > 0)
+	// Output:
+	// delivered: true, hops > 0: true
+}

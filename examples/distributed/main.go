@@ -1,0 +1,96 @@
+// Distributed: a deep dive into the §3 protocol on the synchronous
+// message-passing simulator — per-phase round costs, the per-step
+// communication breakdown, and how measured rounds scale against the
+// polylogarithmic bound as the network grows.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"topoctl"
+	"topoctl/internal/core"
+	"topoctl/internal/dist"
+	"topoctl/internal/metrics"
+)
+
+func main() {
+	fmt.Println("== scaling: rounds vs n (ε = 0.5, α = 0.75) ==")
+	fmt.Printf("%6s %8s %12s %10s %14s\n", "n", "rounds", "messages", "phases", "rounds/log²n")
+	for _, n := range []int{32, 64, 128, 256} {
+		net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: n, Dim: 2, Alpha: 0.75, Seed: int64(n)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := core.NewParams(0.5, 0.75, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dist.Build(net.Points, net.Graph, dist.Options{Params: p, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l := math.Log2(float64(n))
+		fmt.Printf("%6d %8d %12d %10d %14.1f\n", n, res.Rounds, res.Messages, len(res.Phases), float64(res.Rounds)/(l*l))
+	}
+
+	fmt.Println("\n== one build in detail (n = 200) ==")
+	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: 200, Dim: 2, Alpha: 0.75, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewParams(0.5, 0.75, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dist.Build(net.Points, net.Graph, dist.Options{Params: p, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := metrics.Stretch(net.Graph, res.Spanner)
+	fmt.Printf("spanner: %d edges, stretch %.4f (t = %.2f), max degree %d\n",
+		res.Spanner.M(), s, p.T, res.Spanner.MaxDegree())
+	fmt.Printf("protocol: %d rounds, %d messages, %d words\n\n", res.Rounds, res.Messages, res.Words)
+
+	fmt.Println("per-step communication:")
+	var steps []string
+	for st := range res.PerStep {
+		steps = append(steps, st)
+	}
+	sort.Strings(steps)
+	for _, st := range steps {
+		c := res.PerStep[st]
+		fmt.Printf("  %-24s %6d rounds %12d messages (%4.1f%%)\n",
+			st, c.Rounds, c.Messages, 100*float64(c.Messages)/float64(res.Messages))
+	}
+
+	// The ten most expensive phases.
+	phases := append([]dist.PhaseCost(nil), res.Phases...)
+	sort.Slice(phases, func(i, j int) bool { return phases[i].Rounds > phases[j].Rounds })
+	if len(phases) > 10 {
+		phases = phases[:10]
+	}
+	fmt.Println("\nmost expensive phases (bin = geometric weight class):")
+	fmt.Printf("  %5s %7s %8s %8s %7s %7s\n", "bin", "edges", "rounds", "gatherK", "MIS", "added")
+	for _, pc := range phases {
+		fmt.Printf("  %5d %7d %8d %8d %7d %7d\n", pc.Bin, pc.Edges, pc.Rounds, pc.GatherK, pc.MISRounds, pc.Added)
+	}
+
+	fmt.Println("\nMIS backend comparison (same instance):")
+	for _, greedy := range []bool{false, true} {
+		r, err := dist.Build(net.Points, net.Graph, dist.Options{Params: p, Seed: 2, UseGreedyMIS: greedy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "luby (randomized, counted)"
+		if greedy {
+			name = "greedy (deterministic ref)"
+		}
+		fmt.Printf("  %-28s edges=%d stretch=%.4f rounds=%d\n",
+			name, r.Spanner.M(), metrics.Stretch(net.Graph, r.Spanner), r.Rounds)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: generate a random wireless network, build a (1+ε)-spanner
+// with the paper's algorithm, and verify the three guarantees.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topoctl"
+)
+
+func main() {
+	// A 400-node sensor field modeled as a 2-dimensional 0.75-quasi unit
+	// ball graph: nodes within distance 0.75 always hear each other, nodes
+	// beyond distance 1 never do.
+	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{
+		N:     400,
+		Dim:   2,
+		Alpha: 0.75,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %d links, max degree %d\n",
+		net.Graph.N(), net.Graph.M(), net.Graph.MaxDegree())
+
+	// Build a 1.5-spanner (ε = 0.5).
+	res, err := topoctl.Build(net.Points, net.Graph, topoctl.Options{
+		Epsilon: 0.5,
+		Alpha:   0.75,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := topoctl.Evaluate(net.Graph, res.Spanner)
+	fmt.Printf("spanner: %d links (%.0f%% of input)\n",
+		q.Edges, 100*float64(q.Edges)/float64(net.Graph.M()))
+	fmt.Printf("  stretch      %.4f   (guarantee: ≤ %.2f)\n", q.Stretch, res.Stretch)
+	fmt.Printf("  max degree   %d        (guarantee: O(1))\n", q.MaxDegree)
+	fmt.Printf("  weight/MST   %.3f    (guarantee: O(1))\n", q.WeightRatio)
+	fmt.Printf("  power/MST    %.3f\n", q.PowerRatio)
+
+	if q.Stretch > res.Stretch {
+		log.Fatal("stretch guarantee violated — this is a bug")
+	}
+	fmt.Println("all guarantees verified ✔")
+}

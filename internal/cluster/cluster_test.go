@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/greedy"
+	"topoctl/internal/mis"
+	"topoctl/internal/ubg"
+)
+
+// testSpanner builds a partial spanner to cluster over: a greedy 1.5-spanner
+// of a random UBG (a realistic G'_{i-1}).
+func testSpanner(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Seed: seed},
+		ubg.Config{Alpha: 0.8, Model: ubg.ModelAll, Seed: seed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return greedy.Spanner(inst.G, 1.5)
+}
+
+func TestGreedyCoverContract(t *testing.T) {
+	sp := testSpanner(t, 90, 600)
+	for _, radius := range []float64{0.05, 0.2, 0.5, 1.5} {
+		cov := GreedyCover(sp, radius)
+		if errs := cov.Check(sp); len(errs) > 0 {
+			t.Errorf("radius %v: %v", radius, errs)
+		}
+	}
+}
+
+func TestGreedyCoverExtremes(t *testing.T) {
+	sp := testSpanner(t, 50, 601)
+	// Radius 0: every vertex is its own center.
+	cov := GreedyCover(sp, 0)
+	if len(cov.Centers) != sp.N() {
+		t.Errorf("radius 0: %d centers, want %d", len(cov.Centers), sp.N())
+	}
+	// Huge radius on a connected graph: one center.
+	cov = GreedyCover(sp, 1e9)
+	if len(cov.Centers) != 1 {
+		t.Errorf("huge radius: %d centers, want 1", len(cov.Centers))
+	}
+	if cov.Centers[0] != 0 {
+		t.Errorf("huge radius center = %d, want 0 (smallest ID first)", cov.Centers[0])
+	}
+}
+
+func TestGreedyCoverDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	cov := GreedyCover(g, 10)
+	if len(cov.Centers) != 2 {
+		t.Errorf("disconnected cover: %d centers, want 2", len(cov.Centers))
+	}
+	if errs := cov.Check(g); len(errs) > 0 {
+		t.Errorf("violations: %v", errs)
+	}
+}
+
+// TestCoverFromCentersMatchesPaperRule verifies the distributed attachment:
+// centers from an MIS of the radius-proximity graph, members attach to the
+// highest-ID center in range.
+func TestCoverFromCentersMatchesPaperRule(t *testing.T) {
+	sp := testSpanner(t, 80, 602)
+	radius := 0.3
+	// Build the proximity graph J.
+	n := sp.N()
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := range sp.DijkstraBounded(u, radius) {
+			if v != u {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	in := mis.Greedy(adj)
+	var centers []int
+	for v, ok := range in {
+		if ok {
+			centers = append(centers, v)
+		}
+	}
+	cov, err := CoverFromCenters(sp, radius, centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := cov.Check(sp); len(errs) > 0 {
+		t.Errorf("violations: %v", errs)
+	}
+	// Attachment rule: every non-center attaches to the highest-ID center
+	// within radius.
+	for v := 0; v < n; v++ {
+		if cov.IsCenter(v) {
+			continue
+		}
+		ball := sp.DijkstraBounded(v, radius)
+		bestCenter := -1
+		for x := range ball {
+			if in[x] && x > bestCenter {
+				bestCenter = x
+			}
+		}
+		if cov.Center[v] != bestCenter {
+			t.Fatalf("vertex %d attached to %d, want %d", v, cov.Center[v], bestCenter)
+		}
+	}
+}
+
+func TestCoverFromCentersRejectsNonDominating(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	// Vertex 2 isolated; centers {0} cannot cover it.
+	if _, err := CoverFromCenters(g, 5, []int{0}); err == nil {
+		t.Error("non-dominating center set accepted")
+	}
+}
+
+// TestClusterGraphLemma5InterWeightBound checks the Lemma 5 bound under its
+// own precondition: every G'-edge is no longer than W_{i-1} (we build the
+// spanner from a radius-0.3 UBG and use w >= 0.3, so no rescue edges arise).
+func TestClusterGraphLemma5InterWeightBound(t *testing.T) {
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: 100, Dim: 2, Seed: 603},
+		ubg.Config{Alpha: 0.3, Model: ubg.ModelNone, Seed: 603},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := greedy.Spanner(inst.G, 1.5)
+	delta := 0.1
+	for _, w := range []float64{0.3, 0.4, 0.8} {
+		cov := GreedyCover(sp, delta*w)
+		cg := BuildClusterGraph(sp, cov, w, (2*delta+1)*w, 0)
+		if cg.MaxInterWeight > (2*delta+1)*w+1e-9 {
+			t.Errorf("w=%v: inter weight %v exceeds Lemma 5 bound %v", w, cg.MaxInterWeight, (2*delta+1)*w)
+		}
+	}
+}
+
+// TestClusterGraphRescuePass: a crossing G'-edge longer than W_{i-1} (the
+// phase-0 clique situation) must still produce an inter-cluster edge, so H
+// stays faithful to the paper's unconditional condition (ii).
+func TestClusterGraphRescuePass(t *testing.T) {
+	// Two tight clumps joined by one long edge of length 0.8 >> w = 0.1.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0.01)
+	g.AddEdge(2, 3, 0.01)
+	g.AddEdge(1, 2, 0.8)
+	delta := 0.1
+	w := 0.1
+	cov := GreedyCover(g, delta*w)
+	cg := BuildClusterGraph(g, cov, w, (2*delta+1)*w, 0)
+	// Centers of 1 and 2 differ; the crossing edge must yield an H inter-
+	// edge despite sp(center(1), center(2)) ≈ 0.8 > crossBound.
+	a, b := cov.Center[1], cov.Center[2]
+	if a == b {
+		t.Fatal("test scene broken: endpoints share a cluster")
+	}
+	if wgt, ok := cg.H.EdgeWeight(a, b); !ok || wgt < 0.8-0.03 {
+		t.Errorf("rescue inter-edge missing or mis-weighted: %v %v", wgt, ok)
+	}
+	// With a rescueBound below the edge weight the rescue must be skipped.
+	cg2 := BuildClusterGraph(g, cov, w, (2*delta+1)*w, 0.5)
+	if _, ok := cg2.H.EdgeWeight(a, b); ok {
+		t.Error("rescueBound did not cap the rescue search")
+	}
+}
+
+// TestClusterGraphLemma7Distortion: for query-edge-like pairs (Euclidean
+// distance in (W, r·W], the Lemma 7 precondition), the H-path must satisfy
+// L1 <= L2 and stay within a constant distortion band. The stated
+// (1+6δ)/(1−2δ) factor is checked with a 2×+1 cushion: on discrete sparse
+// partial spanners a length-≈W path can need two condition-(i) jumps,
+// pushing the ratio toward 2 regardless of δ (the Das–Narasimhan proof
+// assumes their complete-Euclidean context); the algorithm's guarantees
+// only need O(1), which this asserts.
+func TestClusterGraphLemma7Distortion(t *testing.T) {
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: 90, Dim: 2, Seed: 604},
+		ubg.Config{Alpha: 0.8, Model: ubg.ModelAll, Seed: 604},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := greedy.Spanner(inst.G, 1.5)
+	delta := 0.08
+	w := 0.35
+	cov := GreedyCover(sp, delta*w)
+	cg := BuildClusterGraph(sp, cov, w, (2*delta+1)*w, 0)
+	factor := (1 + 6*delta) / (1 - 2*delta)
+	checked := 0
+	for u := 0; u < sp.N(); u += 3 {
+		dg := sp.DijkstraBounded(u, 3*w)
+		for v, l1 := range dg {
+			if v == u {
+				continue
+			}
+			duv := geom.Dist(inst.Points[u], inst.Points[v])
+			if duv <= w || duv > 1.3*w {
+				continue
+			}
+			l2, found := cg.H.DijkstraTarget(u, v, 8*factor*l1)
+			if !found {
+				t.Fatalf("no H-path for pair (%d,%d) with G'-distance %v", u, v, l1)
+			}
+			if l2 < l1-1e-9 {
+				t.Fatalf("H-path shorter than G'-path: %v < %v", l2, l1)
+			}
+			if l2 > (2*factor+1)*l1 {
+				t.Fatalf("H distortion %v/%v = %v outside the constant band (Lemma 7 factor %v)", l2, l1, l2/l1, factor)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pairs checked")
+	}
+}
+
+// TestClusterGraphLemma6InterDegreeConstant: inter-cluster degree must not
+// grow with n.
+func TestClusterGraphLemma6InterDegreeConstant(t *testing.T) {
+	delta := 0.1
+	w := 0.3
+	var degs []int
+	for _, n := range []int{60, 120, 240} {
+		sp := testSpanner(t, n, 605)
+		cov := GreedyCover(sp, delta*w)
+		cg := BuildClusterGraph(sp, cov, w, (2*delta+1)*w, 0)
+		degs = append(degs, cg.MaxInterDegree())
+	}
+	if degs[2] > 3*degs[0]+6 {
+		t.Errorf("inter-cluster degree grows with n: %v", degs)
+	}
+}
+
+// TestClusterGraphQueryConsistentWithSpanner: a "yes" answer on H implies a
+// G'-path within the same bound (Lemma 7 first inequality).
+func TestClusterGraphQueryConsistentWithSpanner(t *testing.T) {
+	sp := testSpanner(t, 80, 606)
+	delta := 0.1
+	w := 0.4
+	cov := GreedyCover(sp, delta*w)
+	cg := BuildClusterGraph(sp, cov, w, (2*delta+1)*w, 0)
+	for u := 0; u < sp.N(); u += 5 {
+		for v := u + 3; v < sp.N(); v += 11 {
+			bound := 1.5 * w
+			if _, ok := cg.Query(u, v, bound); ok {
+				if _, ok2 := sp.DijkstraTarget(u, v, bound); !ok2 {
+					t.Fatalf("H said yes within %v but G' has no such path (%d,%d)", bound, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestClusterGraphIntraEdgesMatchCoverDistances(t *testing.T) {
+	sp := testSpanner(t, 70, 607)
+	cov := GreedyCover(sp, 0.25)
+	cg := BuildClusterGraph(sp, cov, 0.5, 0.7, 0)
+	for _, ctr := range cov.Centers {
+		for _, v := range cov.Members[ctr] {
+			if v == ctr {
+				continue
+			}
+			got, ok := cg.H.EdgeWeight(ctr, v)
+			if !ok {
+				t.Fatalf("missing intra edge %d-%d", ctr, v)
+			}
+			if math.Abs(got-cov.Dist[v]) > 1e-12 {
+				t.Fatalf("intra weight %v != cover distance %v", got, cov.Dist[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package cluster implements the clustering machinery of the paper: cluster
+// covers of the partial spanner (§2.2.1, §3.2.1) and the Das–Narasimhan
+// cluster graph used to answer shortest-path queries approximately
+// (§2.2.3). Both the sequential peeling construction and the MIS-based
+// distributed construction are provided; they produce different covers but
+// both satisfy the cover contract (radius bound, full coverage, separated
+// centers), which is what all downstream steps rely on.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"topoctl/internal/graph"
+)
+
+// Cover is a cluster cover of a graph: every vertex belongs to exactly one
+// cluster (we materialize the cover as a partition; the paper allows
+// overlap, and a partition is a special case), every cluster has
+// shortest-path radius at most Radius around its center, and distinct
+// centers are more than Radius apart in the underlying graph metric
+// (guaranteed by both constructions below).
+type Cover struct {
+	// Radius is the cover radius (in the graph's weight units).
+	Radius float64
+	// Center[v] is the cluster center vertex of v (Center[c] == c for
+	// centers).
+	Center []int
+	// Dist[v] is the shortest-path distance from Center[v] to v in the
+	// clustered graph; Dist[c] == 0 for centers.
+	Dist []float64
+	// Centers lists all cluster centers in increasing vertex order.
+	Centers []int
+	// Members maps each center to its member vertices (including itself),
+	// sorted.
+	Members map[int][]int
+}
+
+// IsCenter reports whether v is a cluster center.
+func (c *Cover) IsCenter(v int) bool { return c.Center[v] == v }
+
+// finalize populates Centers and Members from Center.
+func (c *Cover) finalize() {
+	c.Members = make(map[int][]int)
+	for v, ctr := range c.Center {
+		c.Members[ctr] = append(c.Members[ctr], v)
+	}
+	c.Centers = c.Centers[:0]
+	for ctr, mem := range c.Members {
+		sort.Ints(mem)
+		c.Centers = append(c.Centers, ctr)
+	}
+	sort.Ints(c.Centers)
+}
+
+// GreedyCover builds a cluster cover of g with the given radius by
+// sequential peeling (§2.2.1): repeatedly take the smallest-ID uncovered
+// vertex u, make it a center, and claim every still-uncovered vertex within
+// shortest-path distance radius of u. Centers are pairwise more than radius
+// apart because a later center was, by construction, not claimed by any
+// earlier one.
+func GreedyCover(g *graph.Graph, radius float64) *Cover {
+	n := g.N()
+	c := &Cover{Radius: radius, Center: make([]int, n), Dist: make([]float64, n)}
+	for i := range c.Center {
+		c.Center[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		if c.Center[u] != -1 {
+			continue
+		}
+		ball := g.DijkstraBounded(u, radius)
+		for v, d := range ball {
+			if c.Center[v] == -1 {
+				c.Center[v] = u
+				c.Dist[v] = d
+			}
+		}
+	}
+	c.finalize()
+	return c
+}
+
+// CoverFromCenters builds a cover with the given centers: every vertex
+// attaches to the center with the highest ID among those within radius
+// (matching the paper's distributed attachment rule, §3.2.1). It returns an
+// error if some vertex is not within radius of any center — i.e. the center
+// set is not dominating at this radius.
+func CoverFromCenters(g *graph.Graph, radius float64, centers []int) (*Cover, error) {
+	n := g.N()
+	c := &Cover{Radius: radius, Center: make([]int, n), Dist: make([]float64, n)}
+	for i := range c.Center {
+		c.Center[i] = -1
+	}
+	for _, ctr := range centers {
+		ball := g.DijkstraBounded(ctr, radius)
+		for v, d := range ball {
+			// Highest-ID center within radius wins the attachment.
+			if cur := c.Center[v]; cur == -1 || ctr > cur {
+				c.Center[v], c.Dist[v] = ctr, d
+			}
+		}
+	}
+	// Centers own themselves. When centers come from an MIS of the
+	// "within radius" graph no center lies in another's ball, so this only
+	// matters for hand-constructed center sets.
+	for _, ctr := range centers {
+		c.Center[ctr], c.Dist[ctr] = ctr, 0
+	}
+	for v := 0; v < n; v++ {
+		if c.Center[v] == -1 {
+			return nil, fmt.Errorf("cluster: vertex %d not covered by any center at radius %v", v, radius)
+		}
+	}
+	c.finalize()
+	return c, nil
+}
+
+// Check verifies the cover contract against g and returns a list of
+// violations (empty means the cover is valid): every vertex covered, all
+// member distances within radius and consistent with shortest paths, and
+// centers pairwise more than radius apart.
+func (c *Cover) Check(g *graph.Graph) []string {
+	var out []string
+	const eps = 1e-9
+	for v, ctr := range c.Center {
+		if ctr == -1 {
+			out = append(out, fmt.Sprintf("vertex %d uncovered", v))
+			continue
+		}
+		if c.Dist[v] > c.Radius+eps {
+			out = append(out, fmt.Sprintf("vertex %d at distance %v > radius %v", v, c.Dist[v], c.Radius))
+		}
+	}
+	for _, ctr := range c.Centers {
+		ball := g.DijkstraBounded(ctr, c.Radius)
+		for _, other := range c.Centers {
+			if other == ctr {
+				continue
+			}
+			if d, ok := ball[other]; ok && d <= c.Radius+eps {
+				out = append(out, fmt.Sprintf("centers %d and %d within radius (%v)", ctr, other, d))
+			}
+		}
+		// Member distances must match shortest paths.
+		for _, v := range c.Members[ctr] {
+			d, ok := ball[v]
+			if !ok {
+				out = append(out, fmt.Sprintf("member %d unreachable from center %d within radius", v, ctr))
+				continue
+			}
+			if diff := c.Dist[v] - d; diff > eps || diff < -eps {
+				out = append(out, fmt.Sprintf("member %d distance %v != shortest path %v", v, c.Dist[v], d))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMetricWeightKnownValues(t *testing.T) {
+	tests := []struct {
+		m    Metric
+		d    float64
+		want float64
+	}{
+		{EuclideanMetric, 0.5, 0.5},
+		{Metric{Coeff: 2, Gamma: 1}, 0.5, 1.0},
+		{Metric{Coeff: 1, Gamma: 2}, 0.5, 0.25},
+		{Metric{Coeff: 3, Gamma: 3}, 0.5, 0.375},
+		{Metric{Coeff: 1, Gamma: 4}, 2, 16},
+	}
+	for _, tc := range tests {
+		if got := tc.m.Weight(tc.d); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%+v.Weight(%v) = %v, want %v", tc.m, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestMetricValidate(t *testing.T) {
+	for _, bad := range []Metric{{Coeff: 0, Gamma: 1}, {Coeff: -1, Gamma: 2}, {Coeff: 1, Gamma: 0.5}} {
+		if bad.Validate() == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+	if EuclideanMetric.Validate() != nil {
+		t.Error("Euclidean metric rejected")
+	}
+	if !EuclideanMetric.IsEuclidean() || (Metric{Coeff: 2, Gamma: 1}).IsEuclidean() {
+		t.Error("IsEuclidean wrong")
+	}
+}
+
+// TestMetricWeightMonotone: the metric must preserve the length order —
+// that is what lets the bin schedule double as a weight order.
+func TestMetricWeightMonotone(t *testing.T) {
+	for _, m := range []Metric{EuclideanMetric, {Coeff: 2, Gamma: 2}, {Coeff: 0.5, Gamma: 3}} {
+		prev := -1.0
+		for d := 0.01; d <= 1.0; d += 0.01 {
+			w := m.Weight(d)
+			if w <= prev {
+				t.Fatalf("%+v not monotone at %v", m, d)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestHopBoundEuclidean reproduces the paper's §2.2.4 bound: a path of
+// length l in an α-UBG has at most ⌈2l/α⌉+1 hops.
+func TestHopBoundEuclidean(t *testing.T) {
+	m := EuclideanMetric
+	if got := m.HopBound(1.0, 0.5); got != 5 {
+		t.Errorf("HopBound(1, 0.5) = %d, want 5", got)
+	}
+	if got := m.HopBound(0.3, 0.75); got != 2 {
+		t.Errorf("HopBound(0.3, 0.75) = %d, want 2", got)
+	}
+}
+
+// TestHopBoundIsConservative: simulate worst-case paths (alternating just
+// over α/2 edge lengths) and check the bound holds under the energy metric
+// too.
+func TestHopBoundIsConservative(t *testing.T) {
+	alpha := 0.6
+	for _, m := range []Metric{EuclideanMetric, {Coeff: 1, Gamma: 2}, {Coeff: 2, Gamma: 3}} {
+		// Build a chain of h hops each of Euclidean length alpha/2 + ε —
+		// the densest packing that keeps two-hop separation > alpha.
+		edge := alpha/2 + 1e-6
+		for h := 1; h <= 40; h++ {
+			weight := float64(h) * m.Weight(edge)
+			if got := m.HopBound(weight, alpha); got < h {
+				t.Fatalf("%+v: HopBound(%v) = %d < actual %d hops", m, weight, got, h)
+			}
+		}
+	}
+}
+
+func TestHopBoundGammaFormula(t *testing.T) {
+	// γ=2, c=1, α=1: pair weight = 2^{-1}·1 = 0.5, so HopBound(l) =
+	// ceil(4l)+1.
+	m := Metric{Coeff: 1, Gamma: 2}
+	if got := m.HopBound(1, 1); got != 5 {
+		t.Errorf("HopBound = %d, want 5", got)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestNewParamsSatisfiesAllConstraintsProperty drives random ε/α/d through
+// the derivation and asserts every theorem constraint holds — the feasible
+// region is non-trivial and it is easy to get a boundary wrong.
+func TestNewParamsSatisfiesAllConstraintsProperty(t *testing.T) {
+	f := func(epsRaw, alphaRaw uint16, dRaw uint8) bool {
+		eps := 0.01 + float64(epsRaw)/65535.0*10 // (0.01, 10]
+		alpha := 0.05 + float64(alphaRaw)/65535.0*0.95
+		d := 2 + int(dRaw)%4
+		p, err := NewParams(eps, alpha, d)
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewParamsRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		eps, alpha float64
+		d          int
+	}{
+		{0, 0.5, 2},
+		{-1, 0.5, 2},
+		{0.5, 0, 2},
+		{0.5, 1.5, 2},
+		{0.5, -0.1, 2},
+		{0.5, 0.5, 1},
+		{0.5, 0.5, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewParams(c.eps, c.alpha, c.d); err == nil {
+			t.Errorf("NewParams(%v, %v, %d) should fail", c.eps, c.alpha, c.d)
+		}
+	}
+}
+
+func TestParamsKnownValues(t *testing.T) {
+	p, err := NewParams(0.5, 0.75, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.T != 1.5 || p.T1 != 1.25 {
+		t.Errorf("t=%v t1=%v", p.T, p.T1)
+	}
+	if !(p.Delta > 0 && p.Delta <= 0.0625) { // (t-t1)/4 = 0.0625
+		t.Errorf("delta=%v outside (0, 0.0625]", p.Delta)
+	}
+	if !(p.R > 1 && p.R < (p.TDelta+1)/2) {
+		t.Errorf("r=%v outside (1, %v)", p.R, (p.TDelta+1)/2)
+	}
+	// Czumaj–Zhao: t >= 1/(cos θ − sin θ).
+	if 1/(math.Cos(p.Theta)-math.Sin(p.Theta)) > p.T+1e-12 {
+		t.Errorf("theta=%v violates Lemma 3 precondition", p.Theta)
+	}
+}
+
+func TestValidateCatchesCorruptions(t *testing.T) {
+	base, err := NewParams(0.5, 0.75, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := []func(*Params){
+		func(p *Params) { p.T = 0.9 },
+		func(p *Params) { p.T1 = p.T },
+		func(p *Params) { p.T1 = 1 },
+		func(p *Params) { p.Delta = 0 },
+		func(p *Params) { p.Delta = 1 },
+		func(p *Params) { p.R = 1 },
+		func(p *Params) { p.R = 100 },
+		func(p *Params) { p.TDelta = 0.99 },
+		func(p *Params) { p.Theta = 0 },
+		func(p *Params) { p.Theta = math.Pi / 3 },
+		func(p *Params) { p.Alpha = 0 },
+		func(p *Params) { p.Alpha = 2 },
+		func(p *Params) { p.Dim = 1 },
+	}
+	for i, fn := range corrupt {
+		p := base
+		fn(&p)
+		if p.Validate() == nil {
+			t.Errorf("corruption %d not caught: %+v", i, p)
+		}
+	}
+}
+
+// TestSmallEpsilonStillFeasible: even for very small ε the derived schedule
+// must remain valid (the paper's "for any ε > 0").
+func TestSmallEpsilonStillFeasible(t *testing.T) {
+	for _, eps := range []float64{0.01, 0.05, 0.1} {
+		p, err := NewParams(eps, 0.9, 2)
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		if p.R <= 1 {
+			t.Fatalf("eps=%v: r=%v", eps, p.R)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/metrics"
+	"topoctl/internal/ubg"
+)
+
+// TestBuildStretchProperty is the randomized end-to-end guarantee check:
+// for random (ε, α, seed) draws on small instances, the output must always
+// be a (1+ε)-spanner. This is the single most important property in the
+// repository; it fuzzes the parameter schedule, the bin boundaries, the
+// covered-edge filter and the cluster machinery together.
+func TestBuildStretchProperty(t *testing.T) {
+	f := func(epsRaw, alphaRaw uint8, seed int16) bool {
+		eps := 0.15 + float64(epsRaw)/255.0*1.85 // [0.15, 2]
+		alpha := 0.4 + float64(alphaRaw)/255.0*0.6
+		inst, err := ubg.GenerateConnected(
+			geom.CloudConfig{Kind: geom.CloudUniform, N: 40, Dim: 2, Seed: int64(seed)},
+			ubg.Config{Alpha: alpha, Model: ubg.ModelAll, Seed: int64(seed)},
+		)
+		if err != nil {
+			return false
+		}
+		p, err := NewParams(eps, alpha, 2)
+		if err != nil {
+			return false
+		}
+		res, err := Build(inst.Points, inst.G, Options{Params: p})
+		if err != nil {
+			return false
+		}
+		return metrics.Stretch(inst.G, res.Spanner) <= p.T+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildSubgraphProperty: the spanner never invents edges, under random
+// configurations.
+func TestBuildSubgraphProperty(t *testing.T) {
+	f := func(seed int16) bool {
+		inst, err := ubg.GenerateConnected(
+			geom.CloudConfig{Kind: geom.CloudUniform, N: 35, Dim: 2, Seed: int64(seed)},
+			ubg.Config{Alpha: 0.7, Model: ubg.ModelBernoulli, P: 0.5, Seed: int64(seed)},
+		)
+		if err != nil {
+			return false
+		}
+		p, err := NewParams(0.5, 0.7, 2)
+		if err != nil {
+			return false
+		}
+		res, err := Build(inst.Points, inst.G, Options{Params: p})
+		if err != nil {
+			return false
+		}
+		for _, e := range res.Spanner.Edges() {
+			if !inst.G.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		// Connected input must yield a connected spanner (it t-spans
+		// every input edge).
+		return res.Spanner.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/metrics"
+	"topoctl/internal/ubg"
+)
+
+// TestSmokeBuild is the first end-to-end check: on a modest random α-UBG the
+// relaxed greedy output must be a t-spanner with reasonable degree and
+// weight. Deeper suites live in build_test.go.
+func TestSmokeBuild(t *testing.T) {
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: 96, Dim: 2, Seed: 7},
+		ubg.Config{Alpha: 0.75, Model: ubg.ModelAll, Seed: 7},
+	)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	p, err := NewParams(0.5, 0.75, 2)
+	if err != nil {
+		t.Fatalf("params: %v", err)
+	}
+	res, err := Build(inst.Points, inst.G, Options{Params: p})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	s := metrics.Stretch(inst.G, res.Spanner)
+	if s > p.T+1e-9 {
+		t.Errorf("stretch %v exceeds t=%v", s, p.T)
+	}
+	if res.Spanner.M() == 0 {
+		t.Error("empty spanner")
+	}
+	t.Logf("n=%d m=%d spanner=%d stretch=%.4f maxdeg=%d weight/mst=%.3f phases=%d nonempty=%d covered=%d added=%d removed=%d",
+		inst.G.N(), inst.G.M(), res.Spanner.M(), s, res.Spanner.MaxDegree(),
+		metrics.WeightRatio(inst.G, res.Spanner), res.Stats.Phases, res.Stats.NonEmptyPhases,
+		res.Stats.Covered, res.Stats.Added, res.Stats.RemovedRedundant)
+}

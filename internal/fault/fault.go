@@ -1,0 +1,242 @@
+// Package fault implements the k-fault-tolerant spanner extension the paper
+// announces in §1.6.1 (after Czumaj–Zhao [2]): a spanning subgraph G' is a
+// k-vertex (k-edge) fault-tolerant t-spanner of G if for every fault set S
+// of at most k vertices (edges), G' − S is a t-spanner of G − S.
+//
+// The construction generalizes the greedy rule: an edge {u,v} is rejected
+// only if the current spanner already contains k+1 pairwise disjoint
+// t-paths between u and v (vertex-disjoint or edge-disjoint according to
+// the mode) — then any k faults leave at least one t-path intact. Disjoint
+// paths are packed greedily (find a shortest t-path, delete it, repeat);
+// greedy packing can under-count the true disjoint-path number, which only
+// ever makes the construction keep extra edges, never break fault
+// tolerance. Random fault injection (CheckFaults) validates the guarantee
+// empirically.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"topoctl/internal/graph"
+	"topoctl/internal/greedy"
+)
+
+// Mode selects the fault model.
+type Mode int
+
+// Fault models.
+const (
+	// EdgeFaults protects against up to k failed links.
+	EdgeFaults Mode = iota + 1
+	// VertexFaults protects against up to k failed nodes (a strictly
+	// stronger requirement).
+	VertexFaults
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case EdgeFaults:
+		return "edge"
+	case VertexFaults:
+		return "vertex"
+	default:
+		return "unknown"
+	}
+}
+
+// Spanner builds a k-fault-tolerant t-spanner of g by the generalized
+// greedy rule. k = 0 degenerates to the plain SEQ-GREEDY spanner.
+func Spanner(g *graph.Graph, t float64, k int, mode Mode) (*graph.Graph, error) {
+	if t <= 1 {
+		return nil, fmt.Errorf("fault: stretch t must exceed 1, got %v", t)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("fault: k must be non-negative, got %d", k)
+	}
+	if k == 0 {
+		return greedy.Spanner(g, t), nil
+	}
+	if mode != EdgeFaults && mode != VertexFaults {
+		return nil, fmt.Errorf("fault: unknown mode %d", mode)
+	}
+	sp := graph.New(g.N())
+	Run(sp, g.Edges(), t, k, mode)
+	return sp, nil
+}
+
+// Run is the fault-tolerant analogue of greedy.Run: it processes edges in
+// the given order against the mutable spanner sp, adding an edge unless sp
+// already contains k+1 pairwise disjoint paths of length at most t times
+// the edge weight. It returns the edges added. Phase 0 of the relaxed
+// algorithm reuses it per clique when building fault-tolerant spanners.
+func Run(sp *graph.Graph, edges []graph.Edge, t float64, k int, mode Mode) []graph.Edge {
+	var added []graph.Edge
+	for _, e := range edges {
+		if sp.HasEdge(e.U, e.V) {
+			continue
+		}
+		if countDisjointPaths(sp, e.U, e.V, t*e.W, k+1, mode) >= k+1 {
+			continue
+		}
+		sp.AddEdge(e.U, e.V, e.W)
+		added = append(added, e)
+	}
+	return added
+}
+
+// DisjointPathsAtLeast reports whether g contains at least want pairwise
+// disjoint uv-paths of length at most bound (greedy packing; may
+// under-count, never over-counts).
+func DisjointPathsAtLeast(g *graph.Graph, u, v int, bound float64, want int, mode Mode) bool {
+	return countDisjointPaths(g, u, v, bound, want, mode) >= want
+}
+
+// countDisjointPaths greedily packs up to want disjoint uv-paths of length
+// at most bound in sp, returning how many it found. Paths are made disjoint
+// by deleting their edges (EdgeFaults) or their interior vertices
+// (VertexFaults) from a working copy between iterations.
+func countDisjointPaths(sp *graph.Graph, u, v int, bound float64, want int, mode Mode) int {
+	work := sp.Clone()
+	found := 0
+	for found < want {
+		path, ok := shortestPathWithin(work, u, v, bound)
+		if !ok {
+			break
+		}
+		found++
+		if mode == EdgeFaults {
+			for i := 0; i+1 < len(path); i++ {
+				work.RemoveEdge(path[i], path[i+1])
+			}
+		} else {
+			for _, x := range path[1 : len(path)-1] {
+				removeVertexEdges(work, x)
+			}
+			// Direct edge u-v (no interior) can be reused only once.
+			if len(path) == 2 {
+				work.RemoveEdge(u, v)
+			}
+		}
+	}
+	return found
+}
+
+// shortestPathWithin returns the vertex sequence of a shortest uv-path of
+// length at most bound, if one exists.
+func shortestPathWithin(g *graph.Graph, u, v int, bound float64) ([]int, bool) {
+	type item struct {
+		dist float64
+		prev int
+	}
+	settled := map[int]item{}
+	frontier := map[int]item{u: {dist: 0, prev: -1}}
+	for len(frontier) > 0 {
+		// Extract min (linear scan: bounded balls are small).
+		best, bi := -1, item{}
+		for x, it := range frontier {
+			if best == -1 || it.dist < bi.dist || (it.dist == bi.dist && x < best) {
+				best, bi = x, it
+			}
+		}
+		delete(frontier, best)
+		settled[best] = bi
+		if best == v {
+			var path []int
+			for x := v; x != -1; x = settled[x].prev {
+				path = append(path, x)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, true
+		}
+		for _, h := range g.Neighbors(best) {
+			nd := bi.dist + h.W
+			if nd > bound {
+				continue
+			}
+			if _, done := settled[h.To]; done {
+				continue
+			}
+			if cur, ok := frontier[h.To]; !ok || nd < cur.dist {
+				frontier[h.To] = item{dist: nd, prev: best}
+			}
+		}
+	}
+	return nil, false
+}
+
+func removeVertexEdges(g *graph.Graph, x int) {
+	hs := append([]graph.Halfedge(nil), g.Neighbors(x)...)
+	for _, h := range hs {
+		g.RemoveEdge(x, h.To)
+	}
+}
+
+// CheckResult summarizes a fault-injection validation run.
+type CheckResult struct {
+	Trials     int
+	Violations int
+	// WorstStretch is the largest post-fault stretch observed across all
+	// trials (1 if no trial had any comparable pair).
+	WorstStretch float64
+}
+
+// CheckFaults validates fault tolerance empirically: for trials random
+// fault sets of exactly k elements, it removes the faults from both g and
+// sp and verifies sp−S is still a t-spanner of g−S (stretch measured over
+// the surviving g-edges, per-component).
+func CheckFaults(g, sp *graph.Graph, t float64, k, trials int, mode Mode, seed int64) CheckResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := CheckResult{Trials: trials, WorstStretch: 1}
+	for trial := 0; trial < trials; trial++ {
+		gf := g.Clone()
+		sf := sp.Clone()
+		if mode == VertexFaults {
+			for i := 0; i < k; i++ {
+				x := rng.Intn(g.N())
+				removeVertexEdges(gf, x)
+				removeVertexEdges(sf, x)
+			}
+		} else {
+			edges := sp.Edges()
+			for i := 0; i < k && len(edges) > 0; i++ {
+				j := rng.Intn(len(edges))
+				e := edges[j]
+				gf.RemoveEdge(e.U, e.V)
+				sf.RemoveEdge(e.U, e.V)
+				edges = append(edges[:j], edges[j+1:]...)
+			}
+		}
+		worst := 1.0
+		violated := false
+		for _, e := range gf.Edges() {
+			d, ok := sf.DijkstraTarget(e.U, e.V, t*e.W)
+			if !ok {
+				violated = true
+				// Quantify how bad: expand the bound to find the real
+				// stretch (or +Inf if disconnected).
+				if d2, ok2 := sf.DijkstraTarget(e.U, e.V, 64*t*e.W); ok2 {
+					if s := d2 / e.W; s > worst {
+						worst = s
+					}
+				} else {
+					worst = 1e18
+				}
+				continue
+			}
+			if s := d / e.W; s > worst {
+				worst = s
+			}
+		}
+		if violated {
+			res.Violations++
+		}
+		if worst > res.WorstStretch {
+			res.WorstStretch = worst
+		}
+	}
+	return res
+}

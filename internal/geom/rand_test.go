@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"testing"
+)
+
+func TestGeneratePointsDeterministic(t *testing.T) {
+	for _, kind := range []Cloud{CloudUniform, CloudClustered, CloudCorridor, CloudGridJitter} {
+		cfg := CloudConfig{Kind: kind, N: 50, Dim: 2, Side: 3, Seed: 99}
+		a := GeneratePoints(cfg)
+		b := GeneratePoints(cfg)
+		if len(a) != 50 || len(b) != 50 {
+			t.Fatalf("%v: wrong count", kind)
+		}
+		for i := range a {
+			if Dist(a[i], b[i]) != 0 {
+				t.Fatalf("%v: generation not deterministic at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestGeneratePointsSeedSensitivity(t *testing.T) {
+	a := GeneratePoints(CloudConfig{Kind: CloudUniform, N: 10, Dim: 2, Side: 1, Seed: 1})
+	b := GeneratePoints(CloudConfig{Kind: CloudUniform, N: 10, Dim: 2, Side: 1, Seed: 2})
+	same := true
+	for i := range a {
+		if Dist(a[i], b[i]) != 0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical clouds")
+	}
+}
+
+func TestGeneratePointsWithinBounds(t *testing.T) {
+	for _, kind := range []Cloud{CloudUniform, CloudClustered, CloudCorridor, CloudGridJitter} {
+		for _, d := range []int{2, 3} {
+			pts := GeneratePoints(CloudConfig{Kind: kind, N: 200, Dim: d, Side: 2.5, Seed: 5})
+			for _, p := range pts {
+				if p.Dim() != d {
+					t.Fatalf("%v d=%d: wrong dimension %d", kind, d, p.Dim())
+				}
+				for _, c := range p {
+					if c < 0 || c > 2.5 {
+						t.Fatalf("%v d=%d: coordinate %v out of [0, 2.5]", kind, d, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateCorridorIsThin(t *testing.T) {
+	pts := GeneratePoints(CloudConfig{Kind: CloudCorridor, N: 100, Dim: 2, Side: 8, Seed: 3})
+	for _, p := range pts {
+		if p[1] > 1.0+1e-9 { // Side/8
+			t.Fatalf("corridor point %v too wide", p)
+		}
+	}
+}
+
+func TestGeneratePointsEdgeCases(t *testing.T) {
+	if got := GeneratePoints(CloudConfig{Kind: CloudUniform, N: 0, Dim: 2}); got != nil {
+		t.Errorf("N=0 should yield nil, got %v", got)
+	}
+	one := GeneratePoints(CloudConfig{Kind: CloudGridJitter, N: 1, Dim: 2, Side: 1, Seed: 1})
+	if len(one) != 1 {
+		t.Errorf("N=1 yielded %d points", len(one))
+	}
+	defSide := GeneratePoints(CloudConfig{Kind: CloudUniform, N: 5, Dim: 2, Seed: 1})
+	for _, p := range defSide {
+		for _, c := range p {
+			if c < 0 || c > 1 {
+				t.Errorf("default side should be 1, got coordinate %v", c)
+			}
+		}
+	}
+}
+
+func TestCloudString(t *testing.T) {
+	tests := map[Cloud]string{
+		CloudUniform:    "uniform",
+		CloudClustered:  "clustered",
+		CloudCorridor:   "corridor",
+		CloudGridJitter: "grid-jitter",
+		Cloud(99):       "unknown",
+	}
+	for k, want := range tests {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(-1, 0, 1) != 0 || clamp(2, 0, 1) != 1 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp broken")
+	}
+}

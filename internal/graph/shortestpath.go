@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns the shortest-path distances from src to every vertex
+// (Inf for unreachable vertices). Edge weights must be non-negative.
+func (g *Graph) Dijkstra(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	g.dijkstraInto(src, Inf, dist)
+	return dist
+}
+
+// DijkstraBounded returns a map from vertex to shortest-path distance for
+// every vertex within distance bound of src (inclusive). The search never
+// expands past the bound, so its cost is proportional to the size of the
+// metric ball — this is what makes the cluster-cover and cluster-graph
+// constructions cheap even when invoked once per vertex.
+func (g *Graph) DijkstraBounded(src int, bound float64) map[int]float64 {
+	out := make(map[int]float64)
+	visited := make(map[int]bool)
+	q := pq{{v: src, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if visited[it.v] {
+			continue
+		}
+		visited[it.v] = true
+		out[it.v] = it.dist
+		for _, h := range g.adj[it.v] {
+			nd := it.dist + h.W
+			if nd <= bound && !visited[h.To] {
+				heap.Push(&q, pqItem{v: h.To, dist: nd})
+			}
+		}
+	}
+	return out
+}
+
+// DijkstraTarget returns the shortest-path distance from src to dst,
+// abandoning the search once all frontier labels exceed bound. The boolean
+// result reports whether a path of length at most bound exists. This is the
+// primitive behind every greedy "is there a t-spanner path already?" query.
+func (g *Graph) DijkstraTarget(src, dst int, bound float64) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	visited := make(map[int]bool)
+	q := pq{{v: src, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if visited[it.v] {
+			continue
+		}
+		if it.v == dst {
+			return it.dist, true
+		}
+		visited[it.v] = true
+		for _, h := range g.adj[it.v] {
+			nd := it.dist + h.W
+			if nd <= bound && !visited[h.To] {
+				heap.Push(&q, pqItem{v: h.To, dist: nd})
+			}
+		}
+	}
+	return Inf, false
+}
+
+// dijkstraInto runs Dijkstra from src writing into dist, skipping expansion
+// beyond bound. dist must be pre-filled with Inf.
+func (g *Graph) dijkstraInto(src int, bound float64, dist []float64) {
+	visited := make([]bool, g.n)
+	q := pq{{v: src, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if visited[it.v] {
+			continue
+		}
+		visited[it.v] = true
+		dist[it.v] = it.dist
+		for _, h := range g.adj[it.v] {
+			nd := it.dist + h.W
+			if nd <= bound && !visited[h.To] {
+				heap.Push(&q, pqItem{v: h.To, dist: nd})
+			}
+		}
+	}
+}
+
+// BFSHops returns hop distances (unweighted) from src up to maxHops; vertices
+// farther than maxHops are absent from the map. maxHops < 0 means unbounded.
+func (g *Graph) BFSHops(src int, maxHops int) map[int]int {
+	hops := map[int]int{src: 0}
+	frontier := []int{src}
+	for depth := 0; len(frontier) > 0 && (maxHops < 0 || depth < maxHops); depth++ {
+		var next []int
+		for _, u := range frontier {
+			for _, h := range g.adj[u] {
+				if _, seen := hops[h.To]; !seen {
+					hops[h.To] = depth + 1
+					next = append(next, h.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return hops
+}
+
+// FloydWarshall computes all-pairs shortest path distances; O(n^3), intended
+// for cross-checking Dijkstra in tests on small graphs.
+func (g *Graph) FloydWarshall() [][]float64 {
+	d := make([][]float64, g.n)
+	for i := range d {
+		d[i] = make([]float64, g.n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = Inf
+			}
+		}
+	}
+	for u, hs := range g.adj {
+		for _, h := range hs {
+			if h.W < d[u][h.To] {
+				d[u][h.To] = h.W
+			}
+		}
+	}
+	for k := 0; k < g.n; k++ {
+		for i := 0; i < g.n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < g.n; j++ {
+				if nd := dik + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,83 @@
+// Package greedy implements the classical sequential greedy spanner
+// algorithm SEQ-GREEDY (paper §1.4, after Das–Narasimhan):
+//
+//	order edges by non-decreasing weight; for each edge {u,v}, add it to
+//	the spanner unless the spanner already contains a uv-path of length
+//	at most t·w(u,v).
+//
+// On complete Euclidean graphs (and, as the paper shows, on α-UBGs) the
+// output is a t-spanner with O(1) maximum degree and weight O(w(MST)).
+// SEQ-GREEDY is used three ways in this repository: as the strongest
+// sequential baseline, as the per-clique solver inside phase 0 of the
+// relaxed greedy algorithm (PROCESS-SHORT-EDGES), and as the reference
+// implementation differential tests compare against.
+package greedy
+
+import (
+	"sort"
+
+	"topoctl/internal/graph"
+)
+
+// Run processes edges in the given order against the (mutable) spanner sp:
+// an edge is added unless sp already contains a path between its endpoints
+// of length at most t times the edge weight. Already-present edges are
+// skipped. It returns the edges actually added.
+//
+// Run is the shared greedy core: SEQ-GREEDY is Run over all edges sorted by
+// weight starting from an empty spanner, and phase 0 of the relaxed
+// algorithm is Run over each short-edge clique.
+func Run(sp *graph.Graph, edges []graph.Edge, t float64) []graph.Edge {
+	var added []graph.Edge
+	for _, e := range edges {
+		if sp.HasEdge(e.U, e.V) {
+			continue
+		}
+		if _, ok := sp.DijkstraTarget(e.U, e.V, t*e.W); ok {
+			continue
+		}
+		sp.AddEdge(e.U, e.V, e.W)
+		added = append(added, e)
+	}
+	return added
+}
+
+// Spanner runs SEQ-GREEDY on g with stretch factor t and returns the
+// resulting spanner as a new graph on the same vertex set.
+func Spanner(g *graph.Graph, t float64) *graph.Graph {
+	sp := graph.New(g.N())
+	Run(sp, g.Edges(), t) // Edges() is already weight-sorted
+	return sp
+}
+
+// SortEdges sorts an edge slice in the canonical greedy order: by weight,
+// then (U, V) lexicographically for determinism.
+func SortEdges(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+}
+
+// CliqueEdges returns all pairwise edges among the given members, weighted
+// by the provided weight function, in canonical greedy order. It is the
+// input builder for phase 0: by Lemma 1 every connected component of the
+// short-edge graph G_0 induces a clique in G, so all pairwise edges exist in
+// the underlying α-UBG.
+func CliqueEdges(members []int, weight func(u, v int) float64) []graph.Edge {
+	var edges []graph.Edge
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			u, v := members[i], members[j]
+			edges = append(edges, graph.NewEdge(u, v, weight(u, v)))
+		}
+	}
+	SortEdges(edges)
+	return edges
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"topoctl/internal/fault"
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/ubg"
+)
+
+func cycleGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+func completeGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+func TestEdgeConnectivityKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path", graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}}), 1},
+		{"cycle-5", cycleGraph(5), 2},
+		{"complete-5", completeGraph(5), 4},
+		{"disconnected", graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}}), 0},
+		{"single vertex", graph.New(1), 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := EdgeConnectivity(tc.g); got != tc.want {
+				t.Errorf("EdgeConnectivity = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPairEdgeConnectivityThetaGraph(t *testing.T) {
+	// Three parallel 2-hop paths 0→1: connectivity 3.
+	g := graph.New(5)
+	for i := 2; i <= 4; i++ {
+		g.AddEdge(0, i, 1)
+		g.AddEdge(i, 1, 1)
+	}
+	if got := PairEdgeConnectivity(g, 0, 1); got != 3 {
+		t.Errorf("pair connectivity = %d, want 3", got)
+	}
+	if got := PairEdgeConnectivity(g, 0, 0); got != 0 {
+		t.Errorf("self connectivity = %d, want 0", got)
+	}
+}
+
+func TestVertexConnectivityKnownGraphs(t *testing.T) {
+	// Two internally disjoint paths plus a direct edge: vertex conn 3.
+	g := graph.New(4)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 1, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(3, 1, 1)
+	g.AddEdge(0, 1, 1)
+	if got := VertexConnectivity(g, 0, 1); got != 3 {
+		t.Errorf("vertex connectivity = %d, want 3", got)
+	}
+	// A single cut vertex: conn 1.
+	h := graph.New(3)
+	h.AddEdge(0, 2, 1)
+	h.AddEdge(2, 1, 1)
+	if got := VertexConnectivity(h, 0, 1); got != 1 {
+		t.Errorf("vertex connectivity through cut vertex = %d, want 1", got)
+	}
+}
+
+// TestVertexLeqEdgeConnectivityProperty: Whitney's inequality
+// κ(u,v) <= λ(u,v) on random graphs.
+func TestVertexLeqEdgeConnectivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(86_000))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(10)
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.35 {
+					g.AddEdge(u, v, 1)
+				}
+			}
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		kv := VertexConnectivity(g, u, v)
+		ke := PairEdgeConnectivity(g, u, v)
+		if kv > ke {
+			t.Fatalf("trial %d: vertex connectivity %d > edge connectivity %d", trial, kv, ke)
+		}
+		deg := g.Degree(u)
+		if dv := g.Degree(v); dv < deg {
+			deg = dv
+		}
+		if ke > deg {
+			t.Fatalf("trial %d: edge connectivity %d > min degree %d", trial, ke, deg)
+		}
+	}
+}
+
+// TestFaultSpannerConnectivityStructure: a k-edge-fault-tolerant spanner of
+// a (k+1)-edge-connected base graph must itself be (k+1)-edge-connected —
+// otherwise k failures could disconnect it.
+func TestFaultSpannerConnectivityStructure(t *testing.T) {
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: 50, Dim: 2, Seed: 87_000},
+		ubg.Config{Alpha: 0.9, Model: ubg.ModelAll, Seed: 87_000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := EdgeConnectivity(inst.G)
+	if base < 3 {
+		t.Skipf("instance only %d-connected; need >= 3", base)
+	}
+	for _, k := range []int{1, 2} {
+		sp, err := fault.Spanner(inst.G, 1.5, k, fault.EdgeFaults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := EdgeConnectivity(sp); got < k+1 {
+			t.Errorf("k=%d spanner is only %d-edge-connected", k, got)
+		}
+	}
+}

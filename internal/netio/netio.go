@@ -1,0 +1,197 @@
+// Package netio serializes network instances and topologies.
+//
+// The text format is line-oriented and self-describing, designed for
+// round-tripping instances between cmd/topoctl runs and for feeding
+// externally-generated deployments into the library:
+//
+//	# free-form comments
+//	ubg n=<int> d=<int> alpha=<float>
+//	v <id> <x1> <x2> ... <xd>
+//	e <u> <v> <weight>
+//
+// Vertices must be declared before edges reference them; IDs must be dense
+// 0..n-1. WriteDOT exports any topology as Graphviz with positional pinning
+// for quick visual inspection.
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+)
+
+// Instance is a serializable network: an embedding plus a topology.
+type Instance struct {
+	Points []geom.Point
+	G      *graph.Graph
+	Alpha  float64
+}
+
+// Write serializes the instance in the text format.
+func Write(w io.Writer, inst *Instance) error {
+	bw := bufio.NewWriter(w)
+	d := 0
+	if len(inst.Points) > 0 {
+		d = inst.Points[0].Dim()
+	}
+	fmt.Fprintf(bw, "ubg n=%d d=%d alpha=%g\n", len(inst.Points), d, inst.Alpha)
+	for i, p := range inst.Points {
+		fmt.Fprintf(bw, "v %d", i)
+		for _, c := range p {
+			fmt.Fprintf(bw, " %.17g", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, e := range inst.G.Edges() {
+		fmt.Fprintf(bw, "e %d %d %.17g\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}
+
+// Read parses an instance from the text format.
+func Read(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	inst := &Instance{}
+	var n, d int
+	headerSeen := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "ubg":
+			if headerSeen {
+				return nil, fmt.Errorf("netio: line %d: duplicate header", line)
+			}
+			headerSeen = true
+			for _, kv := range fields[1:] {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("netio: line %d: malformed header field %q", line, kv)
+				}
+				val := parts[1]
+				var err error
+				switch parts[0] {
+				case "n":
+					n, err = strconv.Atoi(val)
+				case "d":
+					d, err = strconv.Atoi(val)
+				case "alpha":
+					inst.Alpha, err = strconv.ParseFloat(val, 64)
+				default:
+					return nil, fmt.Errorf("netio: line %d: unknown header field %q", line, parts[0])
+				}
+				if err != nil {
+					return nil, fmt.Errorf("netio: line %d: %w", line, err)
+				}
+			}
+			if n < 0 || d < 1 {
+				return nil, fmt.Errorf("netio: line %d: invalid header n=%d d=%d", line, n, d)
+			}
+			inst.Points = make([]geom.Point, n)
+			inst.G = graph.New(n)
+		case "v":
+			if !headerSeen {
+				return nil, fmt.Errorf("netio: line %d: vertex before header", line)
+			}
+			if len(fields) != 2+d {
+				return nil, fmt.Errorf("netio: line %d: vertex needs %d coordinates", line, d)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= n {
+				return nil, fmt.Errorf("netio: line %d: bad vertex id %q", line, fields[1])
+			}
+			p := make(geom.Point, d)
+			for i := 0; i < d; i++ {
+				p[i], err = strconv.ParseFloat(fields[2+i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("netio: line %d: %w", line, err)
+				}
+			}
+			if inst.Points[id] != nil {
+				return nil, fmt.Errorf("netio: line %d: duplicate vertex %d", line, id)
+			}
+			inst.Points[id] = p
+		case "e":
+			if !headerSeen {
+				return nil, fmt.Errorf("netio: line %d: edge before header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("netio: line %d: edge needs u v w", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("netio: line %d: malformed edge", line)
+			}
+			if u < 0 || u >= n || v < 0 || v >= n || u == v {
+				return nil, fmt.Errorf("netio: line %d: edge (%d,%d) out of range", line, u, v)
+			}
+			if inst.G.HasEdge(u, v) {
+				return nil, fmt.Errorf("netio: line %d: duplicate edge (%d,%d)", line, u, v)
+			}
+			inst.G.AddEdge(u, v, w)
+		default:
+			return nil, fmt.Errorf("netio: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	if !headerSeen {
+		return nil, fmt.Errorf("netio: missing header")
+	}
+	for i, p := range inst.Points {
+		if p == nil {
+			return nil, fmt.Errorf("netio: vertex %d missing", i)
+		}
+	}
+	return inst, nil
+}
+
+// WriteDOT exports the topology as a Graphviz graph. For 2-dimensional
+// embeddings vertices are pinned to their coordinates (render with
+// `neato -n`); higher dimensions fall back to unpinned layout with the
+// first two coordinates as hints. highlight, when non-nil, draws the given
+// subgraph's edges bold/colored over the base topology — the intended use
+// is spanner-over-network figures.
+func WriteDOT(w io.Writer, points []geom.Point, g *graph.Graph, highlight *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph topoctl {")
+	fmt.Fprintln(bw, "  node [shape=point width=0.06];")
+	const scale = 10.0
+	for i, p := range points {
+		x, y := 0.0, 0.0
+		if p.Dim() >= 1 {
+			x = p[0]
+		}
+		if p.Dim() >= 2 {
+			y = p[1]
+		}
+		fmt.Fprintf(bw, "  %d [pos=\"%.3f,%.3f!\"];\n", i, x*scale, y*scale)
+	}
+	for _, e := range g.Edges() {
+		if highlight != nil && highlight.HasEdge(e.U, e.V) {
+			continue // drawn below, on top
+		}
+		fmt.Fprintf(bw, "  %d -- %d [color=gray80 penwidth=0.4];\n", e.U, e.V)
+	}
+	if highlight != nil {
+		for _, e := range highlight.Edges() {
+			fmt.Fprintf(bw, "  %d -- %d [color=\"#0050b0\" penwidth=1.4];\n", e.U, e.V)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,145 @@
+package netio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/ubg"
+)
+
+func testInstance(t *testing.T) *Instance {
+	t.Helper()
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: 40, Dim: 2, Seed: 80_000},
+		ubg.Config{Alpha: 0.7, Model: ubg.ModelAll, Seed: 80_000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Instance{Points: inst.Points, G: inst.G, Alpha: inst.Alpha}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Alpha != in.Alpha || len(out.Points) != len(in.Points) || out.G.M() != in.G.M() {
+		t.Fatalf("shape mismatch: alpha %v/%v n %d/%d m %d/%d",
+			out.Alpha, in.Alpha, len(out.Points), len(in.Points), out.G.M(), in.G.M())
+	}
+	for i := range in.Points {
+		if geom.Dist(in.Points[i], out.Points[i]) != 0 {
+			t.Fatalf("point %d not exactly preserved", i)
+		}
+	}
+	for _, e := range in.G.Edges() {
+		w, ok := out.G.EdgeWeight(e.U, e.V)
+		if !ok || math.Abs(w-e.W) != 0 {
+			t.Fatalf("edge %v not exactly preserved (got %v, %v)", e, w, ok)
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	pts := []geom.Point{{0, 0, 0}, {0.5, 0.1, 0.2}}
+	g := graph.New(2)
+	g.AddEdge(0, 1, geom.Dist(pts[0], pts[1]))
+	var buf bytes.Buffer
+	if err := Write(&buf, &Instance{Points: pts, G: g, Alpha: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Points[1].Dim() != 3 {
+		t.Errorf("dimension lost: %d", out.Points[1].Dim())
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	src := `# a comment
+ubg n=2 d=2 alpha=0.5
+
+v 0 0 0
+# another
+v 1 1 0
+e 0 1 1
+`
+	inst, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.M() != 1 || inst.Alpha != 0.5 {
+		t.Errorf("parsed wrong: m=%d alpha=%v", inst.G.M(), inst.Alpha)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"missing header":    "v 0 0 0\n",
+		"no header at all":  "",
+		"dup header":        "ubg n=1 d=2 alpha=1\nubg n=1 d=2 alpha=1\nv 0 0 0\n",
+		"bad header field":  "ubg n=1 d=2 alpha=1 bogus=2\nv 0 0 0\n",
+		"bad vertex id":     "ubg n=1 d=2 alpha=1\nv 5 0 0\n",
+		"wrong coord count": "ubg n=1 d=2 alpha=1\nv 0 0\n",
+		"dup vertex":        "ubg n=1 d=2 alpha=1\nv 0 0 0\nv 0 1 1\n",
+		"missing vertex":    "ubg n=2 d=2 alpha=1\nv 0 0 0\n",
+		"edge out of range": "ubg n=2 d=2 alpha=1\nv 0 0 0\nv 1 1 0\ne 0 5 1\n",
+		"self loop":         "ubg n=2 d=2 alpha=1\nv 0 0 0\nv 1 1 0\ne 1 1 1\n",
+		"dup edge":          "ubg n=2 d=2 alpha=1\nv 0 0 0\nv 1 1 0\ne 0 1 1\ne 1 0 1\n",
+		"unknown record":    "ubg n=1 d=2 alpha=1\nv 0 0 0\nz 1 2\n",
+		"malformed edge":    "ubg n=2 d=2 alpha=1\nv 0 0 0\nv 1 1 0\ne 0 x 1\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	in := testInstance(t)
+	sub := graph.New(in.G.N())
+	es := in.G.Edges()
+	sub.AddEdge(es[0].U, es[0].V, es[0].W)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, in.Points, in.G, sub); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph topoctl {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a DOT graph")
+	}
+	if !strings.Contains(out, "pos=") {
+		t.Error("positions missing")
+	}
+	if !strings.Contains(out, "#0050b0") {
+		t.Error("highlight missing")
+	}
+	// Edge count: every input edge appears exactly once.
+	if got := strings.Count(out, " -- "); got != in.G.M() {
+		t.Errorf("DOT has %d edges, want %d", got, in.G.M())
+	}
+}
+
+func TestWriteDOTNoHighlight(t *testing.T) {
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, in.Points, in.G, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#0050b0") {
+		t.Error("unexpected highlight edges")
+	}
+}

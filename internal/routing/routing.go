@@ -1,0 +1,270 @@
+// Package routing implements the routing schemes that motivate topology
+// control (paper §1.3): shortest-path routing over a chosen topology, and
+// the memoryless geographic schemes (greedy forwarding and compass routing)
+// whose delivery behaviour is why the literature cares about spanner and
+// planarity properties of control structures [9].
+//
+// The package is the application layer of the repository: examples and
+// experiments use it to quantify what routing over a sparse spanner costs
+// relative to the full network.
+package routing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+)
+
+// Scheme selects a forwarding strategy.
+type Scheme int
+
+// Forwarding schemes.
+const (
+	// SchemeShortestPath routes along exact shortest paths (global
+	// knowledge; the quality yardstick).
+	SchemeShortestPath Scheme = iota + 1
+	// SchemeGreedy is memoryless greedy geographic forwarding: always move
+	// to the neighbor strictly closest (Euclidean) to the destination;
+	// fails in a local minimum.
+	SchemeGreedy
+	// SchemeCompass is compass routing: move to the neighbor whose
+	// direction minimizes the angle to the destination direction; fails
+	// when it revisits a vertex (loop detection).
+	SchemeCompass
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeShortestPath:
+		return "shortest-path"
+	case SchemeGreedy:
+		return "greedy"
+	case SchemeCompass:
+		return "compass"
+	default:
+		return "unknown"
+	}
+}
+
+// Route is the result of routing one packet.
+type Route struct {
+	// Delivered reports whether the packet reached its destination.
+	Delivered bool
+	// Path is the vertex sequence traversed (source first; for undelivered
+	// packets, the prefix until failure).
+	Path []int
+	// Cost is the total edge weight traversed.
+	Cost float64
+}
+
+// Hops returns the number of edges traversed.
+func (r Route) Hops() int {
+	if len(r.Path) == 0 {
+		return 0
+	}
+	return len(r.Path) - 1
+}
+
+// Router routes packets over a fixed topology with node positions.
+type Router struct {
+	g   *graph.Graph
+	pts []geom.Point
+}
+
+// NewRouter builds a router for topology g embedded at pts.
+func NewRouter(g *graph.Graph, pts []geom.Point) (*Router, error) {
+	if g.N() != len(pts) {
+		return nil, fmt.Errorf("routing: %d vertices but %d points", g.N(), len(pts))
+	}
+	return &Router{g: g, pts: pts}, nil
+}
+
+// Route routes one packet from s to t under the scheme.
+func (r *Router) Route(scheme Scheme, s, t int) (Route, error) {
+	if s < 0 || s >= r.g.N() || t < 0 || t >= r.g.N() {
+		return Route{}, fmt.Errorf("routing: endpoints (%d,%d) out of range", s, t)
+	}
+	if s == t {
+		return Route{Delivered: true, Path: []int{s}}, nil
+	}
+	switch scheme {
+	case SchemeShortestPath:
+		return r.shortest(s, t), nil
+	case SchemeGreedy:
+		return r.greedy(s, t), nil
+	case SchemeCompass:
+		return r.compass(s, t), nil
+	default:
+		return Route{}, fmt.Errorf("routing: unknown scheme %d", scheme)
+	}
+}
+
+// shortest routes along an exact shortest path (Dijkstra with parents).
+func (r *Router) shortest(s, t int) Route {
+	type label struct {
+		dist float64
+		prev int
+	}
+	settled := map[int]label{}
+	frontier := map[int]label{s: {dist: 0, prev: -1}}
+	for len(frontier) > 0 {
+		best, bl := -1, label{dist: math.Inf(1)}
+		for v, l := range frontier {
+			if l.dist < bl.dist || (l.dist == bl.dist && (best == -1 || v < best)) {
+				best, bl = v, l
+			}
+		}
+		delete(frontier, best)
+		settled[best] = bl
+		if best == t {
+			var path []int
+			for v := t; v != -1; v = settled[v].prev {
+				path = append(path, v)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return Route{Delivered: true, Path: path, Cost: bl.dist}
+		}
+		for _, h := range r.g.Neighbors(best) {
+			if _, done := settled[h.To]; done {
+				continue
+			}
+			nd := bl.dist + h.W
+			if cur, ok := frontier[h.To]; !ok || nd < cur.dist {
+				frontier[h.To] = label{dist: nd, prev: best}
+			}
+		}
+	}
+	return Route{Delivered: false, Path: []int{s}}
+}
+
+// greedy is memoryless greedy geographic forwarding.
+func (r *Router) greedy(s, t int) Route {
+	route := Route{Path: []int{s}}
+	cur := s
+	for cur != t && len(route.Path) <= r.g.N() {
+		bestV, bestD := -1, geom.Dist(r.pts[cur], r.pts[t])
+		var bestW float64
+		for _, h := range r.g.Neighbors(cur) {
+			if d := geom.Dist(r.pts[h.To], r.pts[t]); d < bestD {
+				bestV, bestD, bestW = h.To, d, h.W
+			}
+		}
+		if bestV == -1 {
+			return route // local minimum
+		}
+		cur = bestV
+		route.Path = append(route.Path, cur)
+		route.Cost += bestW
+	}
+	route.Delivered = cur == t
+	return route
+}
+
+// compass routes by angular proximity, failing on the first revisit.
+func (r *Router) compass(s, t int) Route {
+	route := Route{Path: []int{s}}
+	visited := map[int]bool{s: true}
+	cur := s
+	for cur != t {
+		bestV, bestA := -1, math.Inf(1)
+		var bestW float64
+		for _, h := range r.g.Neighbors(cur) {
+			if h.To == t {
+				bestV, bestA, bestW = t, -1, h.W
+				break
+			}
+			a := geom.Angle(r.pts[cur], r.pts[t], r.pts[h.To])
+			if a < bestA || (a == bestA && h.To < bestV) {
+				bestV, bestA, bestW = h.To, a, h.W
+			}
+		}
+		if bestV == -1 {
+			return route // isolated
+		}
+		cur = bestV
+		route.Path = append(route.Path, cur)
+		route.Cost += bestW
+		if cur != t && visited[cur] {
+			return route // loop: compass routing failed
+		}
+		visited[cur] = true
+	}
+	route.Delivered = true
+	return route
+}
+
+// Stats aggregates routing quality over a query workload.
+type Stats struct {
+	Scheme    Scheme
+	Queries   int
+	Delivered int
+	// AvgCost and AvgHops are over delivered packets.
+	AvgCost float64
+	AvgHops float64
+	// AvgStretch is the mean delivered cost over the full-graph shortest
+	// path cost (requires the caller to supply base costs; 0 if absent).
+	AvgStretch float64
+}
+
+// DeliveryRate returns delivered/queries (1 for an empty workload).
+func (s Stats) DeliveryRate() float64 {
+	if s.Queries == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Queries)
+}
+
+// Query is a source/destination pair.
+type Query struct{ S, T int }
+
+// RandomQueries draws q distinct-endpoint queries uniformly.
+func RandomQueries(n, q int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, 0, q)
+	for len(out) < q {
+		s, t := rng.Intn(n), rng.Intn(n)
+		if s != t {
+			out = append(out, Query{S: s, T: t})
+		}
+	}
+	return out
+}
+
+// Evaluate routes the workload under the scheme. baseCosts, when non-nil,
+// must hold the full-network shortest-path cost of each query (for the
+// stretch column); entries <= 0 are skipped for stretch.
+func (r *Router) Evaluate(scheme Scheme, queries []Query, baseCosts []float64) (Stats, error) {
+	st := Stats{Scheme: scheme, Queries: len(queries)}
+	var cost, hops, stretch float64
+	var stretchN int
+	for i, q := range queries {
+		route, err := r.Route(scheme, q.S, q.T)
+		if err != nil {
+			return Stats{}, err
+		}
+		if !route.Delivered {
+			continue
+		}
+		st.Delivered++
+		cost += route.Cost
+		hops += float64(route.Hops())
+		if baseCosts != nil && i < len(baseCosts) && baseCosts[i] > 0 {
+			stretch += route.Cost / baseCosts[i]
+			stretchN++
+		}
+	}
+	if st.Delivered > 0 {
+		st.AvgCost = cost / float64(st.Delivered)
+		st.AvgHops = hops / float64(st.Delivered)
+	}
+	if stretchN > 0 {
+		st.AvgStretch = stretch / float64(stretchN)
+	}
+	return st, nil
+}

@@ -1,0 +1,239 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/greedy"
+	"topoctl/internal/ubg"
+)
+
+// lineWorld is a 4-node path embedded on a line.
+func lineWorld() (*graph.Graph, []geom.Point) {
+	pts := []geom.Point{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	return g, pts
+}
+
+func TestShortestPathRoute(t *testing.T) {
+	g, pts := lineWorld()
+	g.AddEdge(0, 3, 10) // expensive shortcut
+	r, err := NewRouter(g, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := r.Route(SchemeShortestPath, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route.Delivered || route.Cost != 3 || route.Hops() != 3 {
+		t.Errorf("route = %+v", route)
+	}
+	want := []int{0, 1, 2, 3}
+	for i, v := range want {
+		if route.Path[i] != v {
+			t.Errorf("path = %v", route.Path)
+			break
+		}
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	r, _ := NewRouter(g, []geom.Point{{0, 0}, {1, 0}, {9, 9}})
+	route, err := r.Route(SchemeShortestPath, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Delivered {
+		t.Error("unreachable destination reported delivered")
+	}
+}
+
+func TestGreedyDeliversOnPath(t *testing.T) {
+	g, pts := lineWorld()
+	r, _ := NewRouter(g, pts)
+	route, _ := r.Route(SchemeGreedy, 0, 3)
+	if !route.Delivered || route.Hops() != 3 {
+		t.Errorf("route = %+v", route)
+	}
+}
+
+// TestGreedyLocalMinimum: a classical void — the only progress requires
+// moving away from the destination first.
+func TestGreedyLocalMinimum(t *testing.T) {
+	// s at origin; t to the east; s's only neighbor is west of it.
+	pts := []geom.Point{{0, 0}, {-1, 0}, {2, 0}}
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 3)
+	r, _ := NewRouter(g, pts)
+	route, _ := r.Route(SchemeGreedy, 0, 2)
+	if route.Delivered {
+		t.Error("greedy escaped a local minimum — impossible")
+	}
+	// Shortest path still delivers.
+	sp, _ := r.Route(SchemeShortestPath, 0, 2)
+	if !sp.Delivered {
+		t.Error("shortest path should deliver")
+	}
+}
+
+func TestCompassDeliversOnPath(t *testing.T) {
+	g, pts := lineWorld()
+	r, _ := NewRouter(g, pts)
+	route, _ := r.Route(SchemeCompass, 0, 3)
+	if !route.Delivered {
+		t.Errorf("route = %+v", route)
+	}
+}
+
+func TestCompassLoopDetection(t *testing.T) {
+	// Compass can loop; at minimum it must terminate and report failure on
+	// a graph where the best-angle step oscillates.
+	pts := []geom.Point{{0, 0}, {1, 0.5}, {1, -0.5}, {3, 0}}
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	// No edge to 3: all schemes must fail but terminate.
+	r, _ := NewRouter(g, pts)
+	route, _ := r.Route(SchemeCompass, 0, 3)
+	if route.Delivered {
+		t.Error("delivered to a disconnected destination")
+	}
+	if route.Hops() > 10 {
+		t.Errorf("compass did not terminate promptly: %d hops", route.Hops())
+	}
+}
+
+func TestRouteSelfAndValidation(t *testing.T) {
+	g, pts := lineWorld()
+	r, _ := NewRouter(g, pts)
+	route, err := r.Route(SchemeGreedy, 2, 2)
+	if err != nil || !route.Delivered || route.Hops() != 0 {
+		t.Errorf("self route = %+v, %v", route, err)
+	}
+	if _, err := r.Route(SchemeGreedy, -1, 2); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := r.Route(Scheme(99), 0, 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := NewRouter(g, pts[:2]); err == nil {
+		t.Error("mismatched points accepted")
+	}
+}
+
+// TestShortestPathMatchesDijkstra on a random instance.
+func TestShortestPathMatchesDijkstra(t *testing.T) {
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: 60, Dim: 2, Seed: 70_000},
+		ubg.Config{Alpha: 0.8, Model: ubg.ModelAll, Seed: 70_000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewRouter(inst.G, inst.Points)
+	d0 := inst.G.Dijkstra(0)
+	for v := 1; v < inst.G.N(); v += 7 {
+		route, _ := r.Route(SchemeShortestPath, 0, v)
+		if !route.Delivered {
+			t.Fatalf("0->%d undelivered", v)
+		}
+		if math.Abs(route.Cost-d0[v]) > 1e-9 {
+			t.Fatalf("0->%d cost %v != %v", v, route.Cost, d0[v])
+		}
+		// Path must be consistent: sum of edge weights equals cost.
+		var sum float64
+		for i := 0; i+1 < len(route.Path); i++ {
+			w, ok := inst.G.EdgeWeight(route.Path[i], route.Path[i+1])
+			if !ok {
+				t.Fatalf("path uses non-edge %d-%d", route.Path[i], route.Path[i+1])
+			}
+			sum += w
+		}
+		if math.Abs(sum-route.Cost) > 1e-9 {
+			t.Fatalf("path sum %v != cost %v", sum, route.Cost)
+		}
+	}
+}
+
+// TestSpannerRoutingWithinT: shortest-path routing over a t-spanner must
+// stay within t of the full network on every query.
+func TestSpannerRoutingWithinT(t *testing.T) {
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: 80, Dim: 2, Seed: 71_000},
+		ubg.Config{Alpha: 0.8, Model: ubg.ModelAll, Seed: 71_000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tval = 1.5
+	sp := greedy.Spanner(inst.G, tval)
+	full, _ := NewRouter(inst.G, inst.Points)
+	sparse, _ := NewRouter(sp, inst.Points)
+	queries := RandomQueries(inst.G.N(), 100, 3)
+	for _, q := range queries {
+		a, _ := full.Route(SchemeShortestPath, q.S, q.T)
+		b, _ := sparse.Route(SchemeShortestPath, q.S, q.T)
+		if !b.Delivered {
+			t.Fatalf("spanner failed to deliver %v", q)
+		}
+		if b.Cost > tval*a.Cost+1e-9 {
+			t.Fatalf("query %v: spanner cost %v > t × %v", q, b.Cost, a.Cost)
+		}
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	g, pts := lineWorld()
+	r, _ := NewRouter(g, pts)
+	queries := []Query{{S: 0, T: 3}, {S: 3, T: 0}, {S: 1, T: 2}}
+	base := []float64{3, 3, 1}
+	st, err := r.Evaluate(SchemeShortestPath, queries, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 3 || st.DeliveryRate() != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.AvgStretch-1) > 1e-12 {
+		t.Errorf("AvgStretch = %v, want 1", st.AvgStretch)
+	}
+	if math.Abs(st.AvgCost-7.0/3) > 1e-12 {
+		t.Errorf("AvgCost = %v", st.AvgCost)
+	}
+}
+
+func TestRandomQueriesProperties(t *testing.T) {
+	qs := RandomQueries(10, 50, 1)
+	if len(qs) != 50 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.S == q.T || q.S < 0 || q.S >= 10 || q.T < 0 || q.T >= 10 {
+			t.Fatalf("bad query %+v", q)
+		}
+	}
+	// Deterministic under seed.
+	qs2 := RandomQueries(10, 50, 1)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeShortestPath.String() != "shortest-path" || SchemeGreedy.String() != "greedy" ||
+		SchemeCompass.String() != "compass" || Scheme(0).String() != "unknown" {
+		t.Error("scheme strings wrong")
+	}
+}

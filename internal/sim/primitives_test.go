@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"topoctl/internal/graph"
+)
+
+// starWorld: center 0 with 3 leaves, plus a 2-hop tail 3-4.
+func starWorld() *graph.Graph {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(3, 4, 1)
+	return g
+}
+
+func TestConvergecastExactCosts(t *testing.T) {
+	g := starWorld()
+	nw := NewNetwork(g)
+	// Everyone assigned to center 0: members 1,2,3 at 1 hop, 4 at 2 hops.
+	center := []int{0, 0, 0, 0, 0}
+	nw.Convergecast("cc", center, 2, 3)
+	if nw.Rounds() != 2 {
+		t.Errorf("rounds = %d, want 2", nw.Rounds())
+	}
+	// Messages: 1+1+1+2 = 5 hops; words = 5*3.
+	if nw.Messages() != 5 {
+		t.Errorf("messages = %d, want 5", nw.Messages())
+	}
+	if nw.Words() != 15 {
+		t.Errorf("words = %d, want 15", nw.Words())
+	}
+}
+
+func TestBroadcastMirrorsConvergecast(t *testing.T) {
+	g := starWorld()
+	a := NewNetwork(g)
+	b := NewNetwork(g)
+	center := []int{0, 0, 0, 0, 0}
+	a.Convergecast("x", center, 2, 1)
+	b.Broadcast("x", center, 2, 1)
+	if a.Messages() != b.Messages() || a.Rounds() != b.Rounds() {
+		t.Errorf("asymmetric costs: %s vs %s", a, b)
+	}
+}
+
+func TestConvergecastMultipleCenters(t *testing.T) {
+	g := starWorld()
+	nw := NewNetwork(g)
+	// Two clusters: {0,1,2} centered at 0, {3,4} centered at 3.
+	center := []int{0, 0, 0, 3, 3}
+	nw.Convergecast("cc", center, 1, 1)
+	// Members: 1,2 at 1 hop of 0; 4 at 1 hop of 3 → 3 messages.
+	if nw.Messages() != 3 {
+		t.Errorf("messages = %d, want 3", nw.Messages())
+	}
+	if nw.Rounds() != 1 {
+		t.Errorf("rounds = %d, want 1", nw.Rounds())
+	}
+}
+
+func TestConvergecastBeyondBoundFallsBack(t *testing.T) {
+	g := starWorld()
+	nw := NewNetwork(g)
+	// Vertex 4 is 2 hops from 0, but we cap at 1: its cost falls back to
+	// the bound rather than being dropped.
+	center := []int{0, 0, 0, 0, 0}
+	nw.Convergecast("cc", center, 1, 1)
+	if nw.Messages() != 4 { // 1+1+1+1(fallback)
+		t.Errorf("messages = %d, want 4", nw.Messages())
+	}
+}
+
+func TestDerivedMISRound(t *testing.T) {
+	nw := NewNetwork(starWorld())
+	nw.DerivedMISRound("mis", 10, 3)
+	if nw.Rounds() != 3 || nw.Messages() != 30 {
+		t.Errorf("costs = %s", nw)
+	}
+	nw.DerivedMISRound("mis", 10, 0) // hop clamped to 1
+	if nw.Rounds() != 4 {
+		t.Errorf("hop clamp broken: rounds = %d", nw.Rounds())
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	nw := NewNetwork(starWorld())
+	if got := nw.HopDistance(1, 4, 5); got != 3 {
+		t.Errorf("hop(1,4) = %d, want 3", got)
+	}
+	if got := nw.HopDistance(1, 4, 2); got != -1 {
+		t.Errorf("capped hop = %d, want -1", got)
+	}
+	if got := nw.HopDistance(2, 2, 1); got != 0 {
+		t.Errorf("self hop = %d, want 0", got)
+	}
+}

@@ -1,0 +1,79 @@
+package ubg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topoctl/internal/geom"
+)
+
+// TestUBGContractProperty drives random configurations through Build and
+// re-checks the α-UBG definition each time: the contract must hold for any
+// admissible (alpha, model, p, seed) combination and any cloud shape.
+func TestUBGContractProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(85_000))
+	clouds := []geom.Cloud{geom.CloudUniform, geom.CloudClustered, geom.CloudCorridor, geom.CloudGridJitter}
+	models := []Model{ModelAll, ModelNone, ModelBernoulli, ModelFalloff, ModelObstacle}
+	f := func(aRaw, pRaw uint8, cloudSel, modelSel uint8, seed int16) bool {
+		alpha := 0.1 + float64(aRaw)/255.0*0.9
+		p := float64(pRaw) / 255.0
+		cloud := clouds[int(cloudSel)%len(clouds)]
+		model := models[int(modelSel)%len(models)]
+		pts := geom.GeneratePoints(geom.CloudConfig{
+			Kind: cloud, N: 40, Dim: 2, Side: 2, Seed: int64(seed),
+		})
+		g, err := Build(pts, Config{Alpha: alpha, Model: model, P: p, Seed: int64(seed)})
+		if err != nil {
+			return false
+		}
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				d := geom.Dist(pts[i], pts[j])
+				has := g.HasEdge(i, j)
+				if d <= alpha && !has {
+					return false
+				}
+				if d > 1 && has {
+					return false
+				}
+				// Weight must be the Euclidean distance when present.
+				if has {
+					if w, _ := g.EdgeWeight(i, j); w != d {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildIdempotentProperty: Build with identical inputs must produce
+// identical graphs (grey-zone randomness is pair-keyed, not order-keyed).
+func TestBuildIdempotentProperty(t *testing.T) {
+	f := func(seed int16) bool {
+		pts := geom.GeneratePoints(geom.CloudConfig{
+			Kind: geom.CloudUniform, N: 50, Dim: 2, Side: 2, Seed: int64(seed),
+		})
+		cfg := Config{Alpha: 0.4, Model: ModelBernoulli, P: 0.5, Seed: int64(seed)}
+		a, err1 := Build(pts, cfg)
+		b, err2 := Build(pts, cfg)
+		if err1 != nil || err2 != nil || a.M() != b.M() {
+			return false
+		}
+		for _, e := range a.Edges() {
+			if !b.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

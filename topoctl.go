@@ -1,0 +1,305 @@
+// Package topoctl is a Go implementation of "Local Approximation Schemes
+// for Topology Control" (Damian, Pandit, Pemmaraju; PODC 2006): distributed
+// construction of (1+ε)-spanners with constant maximum degree and weight
+// O(w(MST)) on d-dimensional α-quasi unit ball graphs, in a polylogarithmic
+// number of synchronous communication rounds.
+//
+// The package exposes the full pipeline:
+//
+//	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: 500, Dim: 2, Alpha: 0.75, Seed: 1})
+//	res, err := topoctl.Build(net.Points, net.Graph, topoctl.Options{Epsilon: 0.5, Alpha: 0.75})
+//	// res.Spanner is a (1.5)-spanner with O(1) degree and O(MST) weight.
+//
+// Use BuildDistributed for the round-counting distributed execution, and
+// Baseline for the classical comparison topologies (Yao, Gabriel, RNG, XTC,
+// LMST, MST, SEQ-GREEDY).
+package topoctl
+
+import (
+	"fmt"
+
+	"topoctl/internal/baseline"
+	"topoctl/internal/core"
+	"topoctl/internal/dist"
+	"topoctl/internal/fault"
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/metrics"
+	"topoctl/internal/routing"
+	"topoctl/internal/sim"
+	"topoctl/internal/ubg"
+)
+
+// Point is a point in d-dimensional Euclidean space.
+type Point = geom.Point
+
+// Graph is an undirected weighted graph over vertices 0..n-1.
+type Graph = graph.Graph
+
+// Edge is an undirected weighted edge.
+type Edge = graph.Edge
+
+// Options configures a spanner build.
+type Options struct {
+	// Epsilon is the stretch slack: the output is a (1+Epsilon)-spanner.
+	// Must be positive. Smaller values produce better spanners at the cost
+	// of more edges and more phases.
+	Epsilon float64
+	// Alpha is the α of the underlying α-UBG (defaults to 1, the UDG/UBG
+	// case). The algorithm never adds edges, so an Alpha below the true
+	// value is safe but weakens the covered-edge filter.
+	Alpha float64
+	// Dim is the Euclidean dimension of the embedding (defaults to the
+	// dimension of the first point).
+	Dim int
+	// EnergyGamma, when >= 1, switches edge weights to the energy metric
+	// c·|uv|^γ of §1.6.2 (EnergyCoeff defaults to 1). Zero means plain
+	// Euclidean weights.
+	EnergyGamma float64
+	// EnergyCoeff is the c of the energy metric (ignored when EnergyGamma
+	// is zero).
+	EnergyCoeff float64
+	// Seed drives randomized subroutines of the distributed build.
+	Seed int64
+}
+
+func (o Options) normalize(points []Point) (core.Options, error) {
+	if len(points) == 0 {
+		return core.Options{}, fmt.Errorf("topoctl: empty point set")
+	}
+	alpha := o.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	dim := o.Dim
+	if dim == 0 {
+		dim = points[0].Dim()
+	}
+	p, err := core.NewParams(o.Epsilon, alpha, dim)
+	if err != nil {
+		return core.Options{}, err
+	}
+	m := core.EuclideanMetric
+	if o.EnergyGamma != 0 {
+		c := o.EnergyCoeff
+		if c == 0 {
+			c = 1
+		}
+		m = core.Metric{Coeff: c, Gamma: o.EnergyGamma}
+		if err := m.Validate(); err != nil {
+			return core.Options{}, err
+		}
+	}
+	return core.Options{Params: p, Metric: m}, nil
+}
+
+// Result is a completed sequential build.
+type Result struct {
+	// Spanner is the constructed (1+ε)-spanner. Edge weights are in the
+	// configured metric (Euclidean unless EnergyGamma was set).
+	Spanner *Graph
+	// Stretch is t = 1+ε, the guaranteed stretch bound.
+	Stretch float64
+	// Phases is the number of bins in the schedule.
+	Phases int
+	// EdgesAdded and EdgesRemoved count spanner mutations.
+	EdgesAdded, EdgesRemoved int
+}
+
+// Build runs the sequential relaxed greedy algorithm (paper §2) on the
+// α-UBG g whose vertices are embedded at points (edge weights of g must be
+// Euclidean lengths, as produced by RandomNetwork / BuildUBG).
+func Build(points []Point, g *Graph, opts Options) (*Result, error) {
+	copts, err := opts.normalize(points)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Build(points, g, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Spanner:      res.Spanner,
+		Stretch:      res.Params.T,
+		Phases:       res.Stats.Phases,
+		EdgesAdded:   res.Stats.Added,
+		EdgesRemoved: res.Stats.RemovedRedundant,
+	}, nil
+}
+
+// DistResult is a completed distributed build with communication costs.
+type DistResult struct {
+	Result
+	// Rounds is the number of synchronous communication rounds consumed.
+	Rounds int
+	// Messages and Words count point-to-point messages and O(log n)-bit
+	// payload words.
+	Messages, Words int64
+	// PerStep breaks communication down by protocol step.
+	PerStep map[string]*sim.StepCost
+}
+
+// BuildDistributed runs the distributed algorithm (paper §3) on the
+// synchronous message-passing simulator and reports exact round and message
+// counts alongside the spanner.
+func BuildDistributed(points []Point, g *Graph, opts Options) (*DistResult, error) {
+	copts, err := opts.normalize(points)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dist.Build(points, g, dist.Options{
+		Params: copts.Params,
+		Metric: copts.Metric,
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DistResult{
+		Result: Result{
+			Spanner:      res.Spanner,
+			Stretch:      res.Params.T,
+			Phases:       res.Stats.Phases,
+			EdgesAdded:   res.Stats.Added,
+			EdgesRemoved: res.Stats.RemovedRedundant,
+		},
+		Rounds:   res.Rounds,
+		Messages: res.Messages,
+		Words:    res.Words,
+		PerStep:  res.PerStep,
+	}, nil
+}
+
+// BaselineKind selects a classical topology-control baseline.
+type BaselineKind = baseline.Kind
+
+// Baseline kinds re-exported for callers.
+const (
+	BaselineMST     = baseline.KindMST
+	BaselineYao     = baseline.KindYao
+	BaselineGabriel = baseline.KindGabriel
+	BaselineRNG     = baseline.KindRNG
+	BaselineXTC     = baseline.KindXTC
+	BaselineLMST    = baseline.KindLMST
+	BaselineGreedy  = baseline.KindGreedy
+)
+
+// Baseline constructs the named classical topology over the α-UBG g. The
+// stretch parameter t is used only by BaselineGreedy.
+func Baseline(kind BaselineKind, points []Point, g *Graph, t float64) (*Graph, error) {
+	return baseline.Build(kind, points, g, baseline.Options{T: t})
+}
+
+// FaultTolerantSpanner builds a k-fault-tolerant t-spanner (§1.6.1).
+// vertexMode selects vertex faults (true) or edge faults (false).
+func FaultTolerantSpanner(g *Graph, t float64, k int, vertexMode bool) (*Graph, error) {
+	mode := fault.EdgeFaults
+	if vertexMode {
+		mode = fault.VertexFaults
+	}
+	return fault.Spanner(g, t, k, mode)
+}
+
+// Quality summarizes a topology against its base graph.
+type Quality struct {
+	Edges       int
+	MaxDegree   int
+	AvgDegree   float64
+	Stretch     float64
+	WeightRatio float64
+	PowerRatio  float64
+}
+
+// Evaluate measures spanner quality: exact stretch over g's edges, degree
+// statistics, total weight relative to MST(g), and power cost relative to
+// the MST's power cost.
+func Evaluate(g, spanner *Graph) Quality {
+	r := metrics.Evaluate("", g, spanner)
+	return Quality{
+		Edges:       r.Edges,
+		MaxDegree:   r.MaxDegree,
+		AvgDegree:   r.AvgDegree,
+		Stretch:     r.Stretch,
+		WeightRatio: r.WeightRatio,
+		PowerRatio:  r.PowerRatio,
+	}
+}
+
+// RoutingScheme selects a packet-forwarding strategy for NewRouter.
+type RoutingScheme = routing.Scheme
+
+// Routing schemes re-exported for callers.
+const (
+	// RouteShortestPath routes along exact shortest paths.
+	RouteShortestPath = routing.SchemeShortestPath
+	// RouteGreedy is memoryless greedy geographic forwarding.
+	RouteGreedy = routing.SchemeGreedy
+	// RouteCompass is compass (angle-minimizing) routing.
+	RouteCompass = routing.SchemeCompass
+)
+
+// Router routes packets over a fixed topology; see internal/routing for
+// the scheme semantics.
+type Router = routing.Router
+
+// NewRouter builds a router over topology g embedded at points — typically
+// a spanner produced by Build, which guarantees shortest-path routing costs
+// within t of the full network.
+func NewRouter(g *Graph, points []Point) (*Router, error) {
+	return routing.NewRouter(g, points)
+}
+
+// NetworkSpec describes a synthetic α-UBG instance.
+type NetworkSpec struct {
+	// N is the node count.
+	N int
+	// Dim is the Euclidean dimension (default 2).
+	Dim int
+	// Alpha is the guaranteed-connectivity radius in (0, 1] (default 1).
+	Alpha float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// Cloud selects the deployment pattern (default uniform).
+	Cloud geom.Cloud
+	// GreyZone selects how pairs in (α, 1] connect (default: all connected).
+	GreyZone ubg.Model
+	// GreyP is the Bernoulli probability for ubg.ModelBernoulli.
+	GreyP float64
+}
+
+// Network is a generated instance: a point embedding and the α-UBG over it.
+type Network struct {
+	Points []Point
+	Graph  *Graph
+}
+
+// RandomNetwork generates a connected synthetic α-UBG instance.
+func RandomNetwork(spec NetworkSpec) (*Network, error) {
+	if spec.Dim == 0 {
+		spec.Dim = 2
+	}
+	if spec.Alpha == 0 {
+		spec.Alpha = 1
+	}
+	if spec.Cloud == 0 {
+		spec.Cloud = geom.CloudUniform
+	}
+	if spec.GreyZone == 0 {
+		spec.GreyZone = ubg.ModelAll
+	}
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: spec.Cloud, N: spec.N, Dim: spec.Dim, Seed: spec.Seed},
+		ubg.Config{Alpha: spec.Alpha, Model: spec.GreyZone, P: spec.GreyP, Seed: spec.Seed},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Points: inst.Points, Graph: inst.G}, nil
+}
+
+// BuildUBG constructs the α-UBG over caller-provided points with all
+// grey-zone pairs connected. Use internal generation knobs via
+// RandomNetwork for other grey-zone models.
+func BuildUBG(points []Point, alpha float64) (*Graph, error) {
+	return ubg.Build(points, ubg.Config{Alpha: alpha, Model: ubg.ModelAll})
+}

@@ -1,0 +1,148 @@
+package topoctl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIQuickstart is the README quickstart, as a test.
+func TestPublicAPIQuickstart(t *testing.T) {
+	net, err := RandomNetwork(NetworkSpec{N: 100, Dim: 2, Alpha: 0.75, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(net.Points, net.Graph, Options{Epsilon: 0.5, Alpha: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(net.Graph, res.Spanner)
+	if q.Stretch > res.Stretch+1e-9 {
+		t.Errorf("stretch %v exceeds guarantee %v", q.Stretch, res.Stretch)
+	}
+	if q.Edges >= net.Graph.M() {
+		t.Errorf("no sparsification: %d vs %d", q.Edges, net.Graph.M())
+	}
+}
+
+func TestPublicAPIDistributed(t *testing.T) {
+	net, err := RandomNetwork(NetworkSpec{N: 60, Dim: 2, Alpha: 0.75, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildDistributed(net.Points, net.Graph, Options{Epsilon: 0.5, Alpha: 0.75, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 || res.Messages <= 0 || len(res.PerStep) == 0 {
+		t.Errorf("communication accounting missing: %+v", res)
+	}
+	q := Evaluate(net.Graph, res.Spanner)
+	if q.Stretch > res.Stretch+1e-9 {
+		t.Errorf("stretch %v exceeds guarantee %v", q.Stretch, res.Stretch)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	net, err := RandomNetwork(NetworkSpec{N: 80, Dim: 2, Alpha: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []BaselineKind{BaselineMST, BaselineYao, BaselineGabriel, BaselineRNG, BaselineXTC, BaselineLMST, BaselineGreedy} {
+		g, err := Baseline(kind, net.Points, net.Graph, 1.5)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !g.Connected() {
+			t.Errorf("%v disconnected", kind)
+		}
+	}
+}
+
+func TestPublicAPIEnergyMetric(t *testing.T) {
+	net, err := RandomNetwork(NetworkSpec{N: 60, Dim: 2, Alpha: 0.75, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(net.Points, net.Graph, Options{Epsilon: 0.5, Alpha: 0.75, EnergyGamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spanner edge weights must be squared distances.
+	for _, e := range res.Spanner.Edges() {
+		d, ok := net.Graph.EdgeWeight(e.U, e.V)
+		if !ok {
+			t.Fatal("spanner edge not in input")
+		}
+		if math.Abs(e.W-d*d) > 1e-12 {
+			t.Fatalf("edge weight %v != %v", e.W, d*d)
+		}
+	}
+}
+
+func TestPublicAPIFaultTolerant(t *testing.T) {
+	net, err := RandomNetwork(NetworkSpec{N: 50, Dim: 2, Alpha: 0.9, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := FaultTolerantSpanner(net.Graph, 1.5, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := FaultTolerantSpanner(net.Graph, 1.5, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.M() <= plain.M() {
+		t.Errorf("fault tolerance did not add edges: %d vs %d", ft.M(), plain.M())
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	net, _ := RandomNetwork(NetworkSpec{N: 20, Dim: 2, Alpha: 0.75, Seed: 7})
+	if _, err := Build(nil, net.Graph, Options{Epsilon: 0.5}); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := Build(net.Points, net.Graph, Options{Epsilon: 0}); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := Build(net.Points, net.Graph, Options{Epsilon: 0.5, EnergyGamma: 0.5}); err == nil {
+		t.Error("gamma < 1 accepted")
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	net, err := RandomNetwork(NetworkSpec{N: 40, Seed: 8}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Points[0].Dim() != 2 {
+		t.Errorf("default dim = %d", net.Points[0].Dim())
+	}
+	res, err := Build(net.Points, net.Graph, Options{Epsilon: 1}) // alpha defaults to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stretch != 2 {
+		t.Errorf("stretch = %v, want 2", res.Stretch)
+	}
+}
+
+func TestBuildUBGFromPoints(t *testing.T) {
+	pts := []Point{{0, 0}, {0.3, 0}, {0.9, 0}, {5, 5}}
+	g, err := BuildUBG(pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("close pair missing")
+	}
+	if !g.HasEdge(1, 2) { // 0.6 in grey zone, ModelAll connects
+		t.Error("grey-zone pair missing under ModelAll")
+	}
+	if g.HasEdge(0, 2) == false && g.HasEdge(2, 3) {
+		t.Error("far pair connected")
+	}
+	if g.Degree(3) != 0 {
+		t.Error("distant vertex should be isolated")
+	}
+}
