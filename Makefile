@@ -1,0 +1,37 @@
+# Development targets. `make check` is the tier-1 gate; `make ci` is what a
+# CI job should run (check + race + benchmark smoke).
+
+GO ?= go
+
+.PHONY: all build check vet fmt test race bench ci
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l lists unformatted files; fail if any.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test: build
+	$(GO) test ./...
+
+check: vet fmt test
+
+# Race-detector pass over the packages that exercise concurrency
+# (parallel stretch verification, pooled searchers, parallel experiment reps).
+race:
+	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ .
+
+# Benchmark smoke: one iteration of each micro-benchmark with allocation
+# accounting, to catch perf regressions that change allocs/op.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild' -benchmem -benchtime=10x .
+
+ci: check race bench

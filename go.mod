@@ -1,0 +1,3 @@
+module topoctl
+
+go 1.24

@@ -150,7 +150,7 @@ func Yao(points []geom.Point, g *graph.Graph, theta float64) *graph.Graph {
 // restriction can only keep extra edges, never drop a valid one.
 func Gabriel(points []geom.Point, g *graph.Graph) *graph.Graph {
 	out := graph.New(g.N())
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesUnordered() {
 		mid := geom.Midpoint(points[e.U], points[e.V])
 		r := e.W / 2
 		if !hasWitnessInBall(points, g, e.U, e.V, mid, r) {
@@ -185,7 +185,7 @@ func hasWitnessInBall(points []geom.Point, g *graph.Graph, u, v int, center geom
 func RNG(points []geom.Point, g *graph.Graph) *graph.Graph {
 	const eps = 1e-12
 	out := graph.New(g.N())
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesUnordered() {
 		pu, pv := points[e.U], points[e.V]
 		witness := false
 		scan := func(w int) bool {
@@ -238,7 +238,7 @@ func XTC(g *graph.Graph) *graph.Graph {
 		}
 	}
 	out := graph.New(n)
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesUnordered() {
 		u, v := e.U, e.V
 		drop := false
 		// A witness must be a common neighbor ranked above the partner at
@@ -273,7 +273,7 @@ func LMST(g *graph.Graph) *graph.Graph {
 		nominates[u] = localMSTNeighbors(g, u)
 	}
 	out := graph.New(n)
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesUnordered() {
 		if nominates[e.U][e.V] && nominates[e.V][e.U] {
 			out.AddEdge(e.U, e.V, e.W)
 		}

@@ -95,13 +95,14 @@ func BuildClusterGraph(gp *graph.Graph, cov *Cover, w, crossBound, rescueBound f
 	}
 	var inters []interEdge
 	seen := make(map[[2]int]bool)
+	s := graph.AcquireSearcher(n)
+	defer graph.ReleaseSearcher(s)
 	for _, a := range cov.Centers {
-		ball := gp.DijkstraBounded(a, crossBound)
-		for v, d := range ball {
-			if v == a || !isCenter[v] {
+		for _, vd := range s.Ball(gp, a, crossBound) {
+			if vd.V == a || !isCenter[vd.V] {
 				continue
 			}
-			lo, hi := a, v
+			lo, hi := a, vd.V
 			if lo > hi {
 				lo, hi = hi, lo
 			}
@@ -110,9 +111,9 @@ func BuildClusterGraph(gp *graph.Graph, cov *Cover, w, crossBound, rescueBound f
 				continue
 			}
 			_, isCrossing := crossing[key]
-			if d <= w || isCrossing {
+			if vd.D <= w || isCrossing {
 				seen[key] = true
-				inters = append(inters, interEdge{a: lo, b: hi, w: d})
+				inters = append(inters, interEdge{a: lo, b: hi, w: vd.D})
 			}
 		}
 	}
@@ -126,7 +127,7 @@ func BuildClusterGraph(gp *graph.Graph, cov *Cover, w, crossBound, rescueBound f
 		if rescueBound > 0 && bound > rescueBound {
 			bound = rescueBound
 		}
-		if d, ok := gp.DijkstraTarget(key[0], key[1], bound); ok {
+		if d, ok := s.DijkstraTarget(gp, key[0], key[1], bound); ok {
 			inters = append(inters, interEdge{a: key[0], b: key[1], w: d})
 		}
 	}

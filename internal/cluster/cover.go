@@ -65,15 +65,16 @@ func GreedyCover(g *graph.Graph, radius float64) *Cover {
 	for i := range c.Center {
 		c.Center[i] = -1
 	}
+	s := graph.AcquireSearcher(n)
+	defer graph.ReleaseSearcher(s)
 	for u := 0; u < n; u++ {
 		if c.Center[u] != -1 {
 			continue
 		}
-		ball := g.DijkstraBounded(u, radius)
-		for v, d := range ball {
-			if c.Center[v] == -1 {
-				c.Center[v] = u
-				c.Dist[v] = d
+		for _, vd := range s.Ball(g, u, radius) {
+			if c.Center[vd.V] == -1 {
+				c.Center[vd.V] = u
+				c.Dist[vd.V] = vd.D
 			}
 		}
 	}
@@ -92,12 +93,13 @@ func CoverFromCenters(g *graph.Graph, radius float64, centers []int) (*Cover, er
 	for i := range c.Center {
 		c.Center[i] = -1
 	}
+	s := graph.AcquireSearcher(n)
+	defer graph.ReleaseSearcher(s)
 	for _, ctr := range centers {
-		ball := g.DijkstraBounded(ctr, radius)
-		for v, d := range ball {
+		for _, vd := range s.Ball(g, ctr, radius) {
 			// Highest-ID center within radius wins the attachment.
-			if cur := c.Center[v]; cur == -1 || ctr > cur {
-				c.Center[v], c.Dist[v] = ctr, d
+			if cur := c.Center[vd.V]; cur == -1 || ctr > cur {
+				c.Center[vd.V], c.Dist[vd.V] = ctr, vd.D
 			}
 		}
 	}

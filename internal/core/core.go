@@ -173,10 +173,12 @@ func (b *builder) run() {
 }
 
 // BinEdges distributes the edges of g (Euclidean weights) into the bin
-// schedule, annotating each with its metric weight.
+// schedule, annotating each with its metric weight. Edge order within a
+// bin is irrelevant (every consumer sorts or groups deterministically), so
+// the unsorted edge enumeration suffices.
 func BinEdges(g *graph.Graph, bins Bins, m Metric) map[int][]EdgeInfo {
 	byBin := make(map[int][]EdgeInfo)
-	for _, e := range g.Edges() {
+	for _, e := range g.EdgesUnordered() {
 		i := bins.Index(e.W)
 		byBin[i] = append(byBin[i], EdgeInfo{U: e.U, V: e.V, Dist: e.W, W: m.Weight(e.W)})
 	}
@@ -275,7 +277,7 @@ func (b *builder) phase(i int, edges []EdgeInfo) {
 	if !b.opts.DisableRedundancy && b.opts.FaultK == 0 && len(added) > 1 {
 		bound := b.p.T1 * b.opts.Metric.Weight(b.bins.Ceiling(i))
 		pairs := FindRedundantPairs(cg.H, added, b.p.T1, bound)
-		b.stats.RemovedRedundant += removeNonMIS(b.sp, added, pairs, mis.Greedy)
+		b.stats.RemovedRedundant += RemoveNonMIS(b.sp, added, pairs, mis.Greedy)
 	}
 }
 
@@ -306,13 +308,15 @@ func NeedsEdge(h *graph.Graph, q EdgeInfo, t float64, faultK int, mode fault.Mod
 	return !fault.DisjointPathsAtLeast(h, q.U, q.V, bound, faultK+1, mode)
 }
 
-// removeNonMIS builds the conflict graph over added edges from the given
+// RemoveNonMIS builds the conflict graph over added edges from the given
 // redundant pairs, computes an MIS with the supplied backend, and removes
 // from sp every conflicted edge outside the MIS. It returns the number of
 // removed edges. Removed edges form an independent set's complement within
 // the conflict graph, so every removed edge retains a surviving mutually
-// redundant counterpart — the property Theorem 10's proof needs.
-func removeNonMIS(sp *graph.Graph, added []EdgeInfo, pairs [][2]int, misFn func([][]int) []bool) int {
+// redundant counterpart — the property Theorem 10's proof needs. Exported
+// because the distributed implementation runs the identical removal rule
+// with its own (round-counted) MIS backend.
+func RemoveNonMIS(sp *graph.Graph, added []EdgeInfo, pairs [][2]int, misFn func([][]int) []bool) int {
 	if len(pairs) == 0 {
 		return 0
 	}
@@ -336,7 +340,16 @@ func removeNonMIS(sp *graph.Graph, added []EdgeInfo, pairs [][2]int, misFn func(
 // with exact queries on the live spanner (cover filtering still applies so
 // the comparison isolates the lazy-update ingredient).
 func (b *builder) phaseEager(edges []EdgeInfo) {
-	sort.Slice(edges, func(x, y int) bool { return edges[x].W < edges[y].W })
+	sort.Slice(edges, func(x, y int) bool {
+		a, c := edges[x], edges[y]
+		if a.W != c.W {
+			return a.W < c.W
+		}
+		if a.U != c.U {
+			return a.U < c.U
+		}
+		return a.V < c.V
+	})
 	for _, e := range edges {
 		if b.sp.HasEdge(e.U, e.V) {
 			b.stats.AlreadyInSpanner++

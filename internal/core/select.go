@@ -194,11 +194,18 @@ func sortEdgeInfos(es []EdgeInfo) {
 // bound caps the Dijkstra searches: any distance relevant to the conditions
 // is at most t1·W_i.
 func FindRedundantPairs(h *graph.Graph, added []EdgeInfo, t1, bound float64) [][2]int {
+	s := graph.AcquireSearcher(h.N())
+	defer graph.ReleaseSearcher(s)
 	endpoints := make(map[int]map[int]float64)
 	for _, e := range added {
 		for _, v := range [2]int{e.U, e.V} {
 			if _, ok := endpoints[v]; !ok {
-				endpoints[v] = h.DijkstraBounded(v, bound)
+				ball := s.Ball(h, v, bound)
+				m := make(map[int]float64, len(ball))
+				for _, vd := range ball {
+					m[vd.V] = vd.D
+				}
+				endpoints[v] = m
 			}
 		}
 	}

@@ -46,22 +46,32 @@ func T1Stretch(cfg Config) (*Table, error) {
 	}
 	for _, eps := range []float64{0.25, 0.5, 1.0} {
 		for _, n := range cfg.sizes() {
-			worst := 0.0
-			var tParam, edgeSum float64
-			for rep := 0; rep < cfg.reps(); rep++ {
+			type repOut struct {
+				stretch, t float64
+				edges      int
+			}
+			outs, err := parallelReps(cfg.reps(), func(rep int) (repOut, error) {
 				inst, err := instance(n, 2, 0.75, 0, ubg.ModelAll, 100+cfg.Seed+int64(n)+int64(rep)*7919)
 				if err != nil {
-					return nil, err
+					return repOut{}, err
 				}
 				res, err := buildSeq(inst, eps, core.Options{})
 				if err != nil {
-					return nil, err
+					return repOut{}, err
 				}
-				if s := metrics.Stretch(inst.G, res.Spanner); s > worst {
-					worst = s
+				return repOut{stretch: metrics.Stretch(inst.G, res.Spanner), t: res.Params.T, edges: res.Spanner.M()}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			worst := 0.0
+			var tParam, edgeSum float64
+			for _, o := range outs {
+				if o.stretch > worst {
+					worst = o.stretch
 				}
-				tParam = res.Params.T
-				edgeSum += float64(res.Spanner.M())
+				tParam = o.t
+				edgeSum += float64(o.edges)
 			}
 			t.AddRow(eps, n, tParam, worst, tParam-worst, cfg.reps(), edgeSum/float64(cfg.reps()))
 		}
@@ -77,25 +87,34 @@ func T2Degree(cfg Config) (*Table, error) {
 		Header: []string{"n", "worst input maxdeg", "worst spanner maxdeg", "avg spanner avgdeg", "reps"},
 	}
 	for _, n := range cfg.sizes() {
-		inDeg, outDeg := 0, 0
-		var avgSum float64
-		for rep := 0; rep < cfg.reps(); rep++ {
+		type repOut struct {
+			inDeg int
+			deg   metrics.DegreeStats
+		}
+		outs, err := parallelReps(cfg.reps(), func(rep int) (repOut, error) {
 			inst, err := instance(n, 2, 0.75, 0, ubg.ModelAll, 200+cfg.Seed+int64(n)+int64(rep)*7919)
 			if err != nil {
-				return nil, err
+				return repOut{}, err
 			}
 			res, err := buildSeq(inst, 0.5, core.Options{})
 			if err != nil {
-				return nil, err
+				return repOut{}, err
 			}
-			ds := metrics.Degrees(res.Spanner)
-			if d := inst.G.MaxDegree(); d > inDeg {
-				inDeg = d
+			return repOut{inDeg: inst.G.MaxDegree(), deg: metrics.Degrees(res.Spanner)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		inDeg, outDeg := 0, 0
+		var avgSum float64
+		for _, o := range outs {
+			if o.inDeg > inDeg {
+				inDeg = o.inDeg
 			}
-			if ds.Max > outDeg {
-				outDeg = ds.Max
+			if o.deg.Max > outDeg {
+				outDeg = o.deg.Max
 			}
-			avgSum += ds.Avg
+			avgSum += o.deg.Avg
 		}
 		t.AddRow(n, inDeg, outDeg, avgSum/float64(cfg.reps()), cfg.reps())
 	}
@@ -110,21 +129,29 @@ func T3Weight(cfg Config) (*Table, error) {
 		Header: []string{"n", "avg w(G)", "avg w(MST)", "avg w(G')", "worst w(G')/w(MST)", "reps"},
 	}
 	for _, n := range cfg.sizes() {
-		var wg, wmst, wsp, worst float64
-		for rep := 0; rep < cfg.reps(); rep++ {
+		type repOut struct {
+			wg, wmst, wsp float64
+		}
+		outs, err := parallelReps(cfg.reps(), func(rep int) (repOut, error) {
 			inst, err := instance(n, 2, 0.75, 0, ubg.ModelAll, 300+cfg.Seed+int64(n)+int64(rep)*7919)
 			if err != nil {
-				return nil, err
+				return repOut{}, err
 			}
 			res, err := buildSeq(inst, 0.5, core.Options{})
 			if err != nil {
-				return nil, err
+				return repOut{}, err
 			}
-			mst := inst.G.MSTWeight()
-			wg += inst.G.TotalWeight()
-			wmst += mst
-			wsp += res.Spanner.TotalWeight()
-			if r := res.Spanner.TotalWeight() / mst; r > worst {
+			return repOut{wg: inst.G.TotalWeight(), wmst: inst.G.MSTWeight(), wsp: res.Spanner.TotalWeight()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var wg, wmst, wsp, worst float64
+		for _, o := range outs {
+			wg += o.wg
+			wmst += o.wmst
+			wsp += o.wsp
+			if r := o.wsp / o.wmst; r > worst {
 				worst = r
 			}
 		}
@@ -382,7 +409,7 @@ func T10Energy(cfg Config) (*Table, error) {
 		})
 		// Energy-weighted base graph for the MST comparison.
 		eg := graph.New(inst.G.N())
-		for _, e := range inst.G.Edges() {
+		for _, e := range inst.G.EdgesUnordered() {
 			eg.AddEdge(e.U, e.V, m.Weight(e.W))
 		}
 		t.AddRow(gamma, res.Spanner.M(), s, res.Params.T, res.Spanner.TotalWeight()/eg.MSTWeight())

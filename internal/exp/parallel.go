@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelReps runs fn for every rep 0..reps-1 across a worker pool and
+// returns the per-rep results in rep order (so aggregation — including
+// floating-point sums — is independent of scheduling). Reps are
+// independent instances by construction: each generates its own network
+// from its own seed. The first error by rep order wins.
+func parallelReps[T any](reps int, fn func(rep int) (T, error)) ([]T, error) {
+	out := make([]T, reps)
+	errs := make([]error, reps)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	if workers <= 1 {
+		for rep := 0; rep < reps; rep++ {
+			var err error
+			if out[rep], err = fn(rep); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := w; rep < reps; rep += workers {
+				out[rep], errs[rep] = fn(rep)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -99,9 +99,11 @@ func DisjointPathsAtLeast(g *graph.Graph, u, v int, bound float64, want int, mod
 // (VertexFaults) from a working copy between iterations.
 func countDisjointPaths(sp *graph.Graph, u, v int, bound float64, want int, mode Mode) int {
 	work := sp.Clone()
+	s := graph.AcquireSearcher(sp.N())
+	defer graph.ReleaseSearcher(s)
 	found := 0
 	for found < want {
-		path, ok := shortestPathWithin(work, u, v, bound)
+		path, _, ok := s.PathTo(work, u, v, bound)
 		if !ok {
 			break
 		}
@@ -121,51 +123,6 @@ func countDisjointPaths(sp *graph.Graph, u, v int, bound float64, want int, mode
 		}
 	}
 	return found
-}
-
-// shortestPathWithin returns the vertex sequence of a shortest uv-path of
-// length at most bound, if one exists.
-func shortestPathWithin(g *graph.Graph, u, v int, bound float64) ([]int, bool) {
-	type item struct {
-		dist float64
-		prev int
-	}
-	settled := map[int]item{}
-	frontier := map[int]item{u: {dist: 0, prev: -1}}
-	for len(frontier) > 0 {
-		// Extract min (linear scan: bounded balls are small).
-		best, bi := -1, item{}
-		for x, it := range frontier {
-			if best == -1 || it.dist < bi.dist || (it.dist == bi.dist && x < best) {
-				best, bi = x, it
-			}
-		}
-		delete(frontier, best)
-		settled[best] = bi
-		if best == v {
-			var path []int
-			for x := v; x != -1; x = settled[x].prev {
-				path = append(path, x)
-			}
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			return path, true
-		}
-		for _, h := range g.Neighbors(best) {
-			nd := bi.dist + h.W
-			if nd > bound {
-				continue
-			}
-			if _, done := settled[h.To]; done {
-				continue
-			}
-			if cur, ok := frontier[h.To]; !ok || nd < cur.dist {
-				frontier[h.To] = item{dist: nd, prev: best}
-			}
-		}
-	}
-	return nil, false
 }
 
 func removeVertexEdges(g *graph.Graph, x int) {
@@ -191,6 +148,8 @@ type CheckResult struct {
 func CheckFaults(g, sp *graph.Graph, t float64, k, trials int, mode Mode, seed int64) CheckResult {
 	rng := rand.New(rand.NewSource(seed))
 	res := CheckResult{Trials: trials, WorstStretch: 1}
+	s := graph.AcquireSearcher(g.N())
+	defer graph.ReleaseSearcher(s)
 	for trial := 0; trial < trials; trial++ {
 		gf := g.Clone()
 		sf := sp.Clone()
@@ -212,13 +171,13 @@ func CheckFaults(g, sp *graph.Graph, t float64, k, trials int, mode Mode, seed i
 		}
 		worst := 1.0
 		violated := false
-		for _, e := range gf.Edges() {
-			d, ok := sf.DijkstraTarget(e.U, e.V, t*e.W)
+		for _, e := range gf.EdgesUnordered() {
+			d, ok := s.DijkstraTarget(sf, e.U, e.V, t*e.W)
 			if !ok {
 				violated = true
 				// Quantify how bad: expand the bound to find the real
 				// stretch (or +Inf if disconnected).
-				if d2, ok2 := sf.DijkstraTarget(e.U, e.V, 64*t*e.W); ok2 {
+				if d2, ok2 := s.DijkstraTarget(sf, e.U, e.V, 64*t*e.W); ok2 {
 					if s := d2 / e.W; s > worst {
 						worst = s
 					}

@@ -134,11 +134,12 @@ func TestShortestPathWithin(t *testing.T) {
 	g.AddEdge(1, 2, 1)
 	g.AddEdge(0, 3, 5)
 	g.AddEdge(3, 2, 5)
-	path, ok := shortestPathWithin(g, 0, 2, 3)
+	s := graph.NewSearcher(g.N())
+	path, _, ok := s.PathTo(g, 0, 2, 3)
 	if !ok || len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
 		t.Errorf("path = %v, ok = %v", path, ok)
 	}
-	if _, ok := shortestPathWithin(g, 0, 2, 1.5); ok {
+	if _, _, ok := s.PathTo(g, 0, 2, 1.5); ok {
 		t.Error("path found beyond bound")
 	}
 }

@@ -7,11 +7,21 @@ import "math"
 // grid of cell side equal to the query radius only O(3^d) cells need to be
 // inspected per query, which keeps network generation linear for the
 // bounded-density point clouds the experiments use.
+//
+// A Grid reuses internal scratch buffers between queries, so it is not
+// safe for concurrent use; index the same points into separate Grids for
+// parallel querying.
 type Grid struct {
 	cell   float64
 	dim    int
 	points []Point
 	cells  map[string][]int
+
+	// Query scratch, reused across calls so the per-vertex neighbor scan
+	// of ubg.Build performs no steady-state allocations.
+	keybuf  []byte
+	base    []int64
+	offsets []int64
 }
 
 // NewGrid indexes the given points with the given cell side. cell must be
@@ -24,6 +34,9 @@ func NewGrid(points []Point, cell float64) *Grid {
 	if len(points) > 0 {
 		g.dim = points[0].Dim()
 	}
+	g.keybuf = make([]byte, 0, 8*g.dim)
+	g.base = make([]int64, g.dim)
+	g.offsets = make([]int64, g.dim)
 	for i, p := range points {
 		k := g.key(p)
 		g.cells[k] = append(g.cells[k], i)
@@ -35,67 +48,75 @@ func NewGrid(points []Point, cell float64) *Grid {
 // strings of the integer cell coordinates; map[string] gives us a compact,
 // allocation-friendly multi-dimensional hash without unsafe tricks.
 func (g *Grid) key(p Point) string {
-	buf := make([]byte, 0, 8*len(p))
+	buf := g.keybuf[:0]
 	for _, c := range p {
 		ic := int64(math.Floor(c / g.cell))
 		for s := 0; s < 64; s += 8 {
 			buf = append(buf, byte(ic>>s))
 		}
 	}
+	g.keybuf = buf
 	return string(buf)
 }
 
 // Neighbors returns the indices of all points q (other than index self, pass
-// -1 to disable self-exclusion) with |p - q| <= radius. radius must not
-// exceed the grid cell side times the number of adjacent cells scanned; this
-// implementation scans ⌈radius/cell⌉ cells in every direction, so any radius
-// is supported, but it is most efficient when radius <= cell.
+// -1 to disable self-exclusion) with |p - q| <= radius. See NeighborsAppend
+// for the allocation-free variant. Like all Grid queries it mutates shared
+// scratch state and must not be called concurrently on one Grid.
 func (g *Grid) Neighbors(p Point, radius float64, self int) []int {
+	return g.NeighborsAppend(nil, p, radius, self)
+}
+
+// NeighborsAppend appends to dst the indices of all points q (other than
+// index self; pass -1 to disable self-exclusion) with |p - q| <= radius,
+// and returns the extended slice. Passing dst[:0] of a slice reused across
+// calls makes the query allocation-free once the slice has grown to the
+// largest neighborhood. radius is supported up to any multiple of the cell
+// side (⌈radius/cell⌉ cells are scanned per axis), but the scan is most
+// efficient when radius <= cell. Not safe for concurrent use: the query
+// reuses the Grid's scratch buffers.
+func (g *Grid) NeighborsAppend(dst []int, p Point, radius float64, self int) []int {
 	if len(g.points) == 0 {
-		return nil
+		return dst
 	}
-	span := int(math.Ceil(radius / g.cell))
-	base := make([]int64, g.dim)
+	span := int64(math.Ceil(radius / g.cell))
 	for i, c := range p {
-		base[i] = int64(math.Floor(c / g.cell))
+		g.base[i] = int64(math.Floor(c / g.cell))
+		g.offsets[i] = -span
 	}
-	var out []int
 	r2 := radius * radius
-	offsets := make([]int64, g.dim)
-	for i := range offsets {
-		offsets[i] = -int64(span)
-	}
 	for {
 		// Visit cell base+offsets.
-		buf := make([]byte, 0, 8*g.dim)
+		buf := g.keybuf[:0]
 		for i := 0; i < g.dim; i++ {
-			ic := base[i] + offsets[i]
+			ic := g.base[i] + g.offsets[i]
 			for s := 0; s < 64; s += 8 {
 				buf = append(buf, byte(ic>>s))
 			}
 		}
+		g.keybuf = buf
 		for _, idx := range g.cells[string(buf)] {
 			if idx == self {
 				continue
 			}
 			if DistSq(p, g.points[idx]) <= r2 {
-				out = append(out, idx)
+				dst = append(dst, idx)
 			}
 		}
 		// Advance the offset vector like an odometer.
 		i := 0
 		for ; i < g.dim; i++ {
-			offsets[i]++
-			if offsets[i] <= int64(span) {
+			g.offsets[i]++
+			if g.offsets[i] <= span {
 				break
 			}
-			offsets[i] = -int64(span)
+			g.offsets[i] = -span
 		}
 		if i == g.dim {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
 // Len returns the number of indexed points.

@@ -160,9 +160,12 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
-// Edges returns all undirected edges in canonical (U < V) form, sorted by
-// weight then lexicographically; the order is deterministic.
-func (g *Graph) Edges() []Edge {
+// EdgesUnordered returns all undirected edges in canonical (U < V) form in
+// adjacency order, skipping the weight sort of Edges. Use it wherever the
+// caller aggregates over edges without depending on their order (metrics,
+// binning, fault injection); use Edges where the sorted contract matters
+// (greedy processing order, MST, serialization).
+func (g *Graph) EdgesUnordered() []Edge {
 	es := make([]Edge, 0, g.m)
 	for u, hs := range g.adj {
 		for _, h := range hs {
@@ -171,6 +174,13 @@ func (g *Graph) Edges() []Edge {
 			}
 		}
 	}
+	return es
+}
+
+// Edges returns all undirected edges in canonical (U < V) form, sorted by
+// weight then lexicographically; the order is deterministic.
+func (g *Graph) Edges() []Edge {
+	es := g.EdgesUnordered()
 	sort.Slice(es, func(i, j int) bool {
 		a, b := es[i], es[j]
 		if a.W != b.W {

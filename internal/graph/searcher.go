@@ -1,0 +1,293 @@
+package graph
+
+import "sync"
+
+// VertexDist is one vertex reached by a bounded search, with its
+// shortest-path distance from the source.
+type VertexDist struct {
+	V int
+	D float64
+}
+
+// heapItem is an entry of the Searcher's hand-rolled binary heap. Keeping
+// the struct concrete (no interface boxing, unlike container/heap) is what
+// makes pushes and pops allocation-free.
+type heapItem struct {
+	dist float64
+	v    int32
+}
+
+// Searcher is reusable scratch state for graph searches: epoch-stamped
+// visited/distance arrays (O(1) logical reset between searches), an
+// index-based binary heap of (vertex, dist) pairs, and result buffers. A
+// Searcher performs zero steady-state allocations: after it has grown to
+// the largest graph it has seen, every search reuses the same memory.
+//
+// A Searcher is not safe for concurrent use; give each goroutine its own
+// (see metrics.StretchParallel) or use the package-level pool via the
+// Graph.Dijkstra* convenience methods. The graphs passed to a Searcher's
+// methods may differ call to call — the scratch arrays grow to the largest
+// vertex count seen.
+type Searcher struct {
+	epoch uint32
+	seen  []uint32 // seen[v] == epoch: label of v is valid this search
+	done  []uint32 // done[v] == epoch: v is settled this search
+	dist  []float64
+	hops  []int32
+	prev  []int32
+	heap  []heapItem
+	ball  []VertexDist
+	queue []int32
+}
+
+// NewSearcher returns a Searcher pre-sized for graphs of n vertices.
+func NewSearcher(n int) *Searcher {
+	s := &Searcher{}
+	s.grow(n)
+	return s
+}
+
+// grow resizes the scratch arrays for graphs of n vertices.
+func (s *Searcher) grow(n int) {
+	s.seen = make([]uint32, n)
+	s.done = make([]uint32, n)
+	s.dist = make([]float64, n)
+	s.hops = make([]int32, n)
+	s.prev = make([]int32, n)
+	s.epoch = 0
+}
+
+// begin starts a new search over an n-vertex graph: one counter bump
+// invalidates every stamp from previous searches.
+func (s *Searcher) begin(n int) {
+	if len(s.seen) < n {
+		s.grow(n)
+	}
+	s.epoch++
+	if s.epoch == 0 { // stamp wrap-around: stale stamps could collide
+		clear(s.seen)
+		clear(s.done)
+		s.epoch = 1
+	}
+	s.heap = s.heap[:0]
+}
+
+// push inserts (d, v) into the heap.
+func (s *Searcher) push(d float64, v int32) {
+	s.heap = append(s.heap, heapItem{dist: d, v: v})
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum-distance entry.
+func (s *Searcher) pop() heapItem {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	h = s.heap
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].dist < h[l].dist {
+			m = r
+		}
+		if h[i].dist <= h[m].dist {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// label relaxes v to distance d, reporting whether that improved its label.
+func (s *Searcher) label(v int, d float64) bool {
+	if s.seen[v] == s.epoch && s.dist[v] <= d {
+		return false
+	}
+	s.seen[v] = s.epoch
+	s.dist[v] = d
+	return true
+}
+
+// DijkstraTarget returns the shortest-path distance from src to dst in g,
+// abandoning the search once all frontier labels exceed bound. The boolean
+// result reports whether a path of length at most bound exists.
+func (s *Searcher) DijkstraTarget(g *Graph, src, dst int, bound float64) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	s.begin(g.n)
+	s.label(src, 0)
+	s.push(0, int32(src))
+	for len(s.heap) > 0 {
+		it := s.pop()
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		if v == dst {
+			return it.dist, true
+		}
+		s.done[v] = s.epoch
+		for _, h := range g.adj[v] {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				s.push(nd, int32(h.To))
+			}
+		}
+	}
+	return Inf, false
+}
+
+// Ball runs a bounded Dijkstra from src and returns every vertex within
+// distance bound (inclusive) with its distance, in settling order. The
+// returned slice is owned by the Searcher and valid only until its next
+// search; callers that need to keep it must copy.
+func (s *Searcher) Ball(g *Graph, src int, bound float64) []VertexDist {
+	s.begin(g.n)
+	s.ball = s.ball[:0]
+	s.label(src, 0)
+	s.push(0, int32(src))
+	for len(s.heap) > 0 {
+		it := s.pop()
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		s.done[v] = s.epoch
+		s.ball = append(s.ball, VertexDist{V: v, D: it.dist})
+		for _, h := range g.adj[v] {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				s.push(nd, int32(h.To))
+			}
+		}
+	}
+	return s.ball
+}
+
+// Dijkstra fills out with the shortest-path distance from src to every
+// vertex (Inf for unreachable ones), skipping expansion beyond bound.
+// len(out) must be g.N().
+func (s *Searcher) Dijkstra(g *Graph, src int, bound float64, out []float64) {
+	s.begin(g.n)
+	for i := range out {
+		out[i] = Inf
+	}
+	s.label(src, 0)
+	s.push(0, int32(src))
+	for len(s.heap) > 0 {
+		it := s.pop()
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		s.done[v] = s.epoch
+		out[v] = it.dist
+		for _, h := range g.adj[v] {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				s.push(nd, int32(h.To))
+			}
+		}
+	}
+}
+
+// PathTo returns the vertex sequence of a shortest src→dst path of length
+// at most bound, with its length. The path slice is freshly allocated (it
+// outlives the next search); scratch state is still reused.
+func (s *Searcher) PathTo(g *Graph, src, dst int, bound float64) ([]int, float64, bool) {
+	if src == dst {
+		return []int{src}, 0, true
+	}
+	s.begin(g.n)
+	s.label(src, 0)
+	s.prev[src] = -1
+	s.push(0, int32(src))
+	for len(s.heap) > 0 {
+		it := s.pop()
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		s.done[v] = s.epoch
+		if v == dst {
+			var path []int
+			for x := int32(dst); x != -1; x = s.prev[x] {
+				path = append(path, int(x))
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, it.dist, true
+		}
+		for _, h := range g.adj[v] {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				s.prev[h.To] = int32(v)
+				s.push(nd, int32(h.To))
+			}
+		}
+	}
+	return nil, Inf, false
+}
+
+// HopsTo returns the hop distance (unweighted) from src to dst, with early
+// exit as soon as dst enters the BFS frontier.
+func (s *Searcher) HopsTo(g *Graph, src, dst int) (int, bool) {
+	if src == dst {
+		return 0, true
+	}
+	s.begin(g.n)
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, int32(src))
+	s.seen[src] = s.epoch
+	s.hops[src] = 0
+	for i := 0; i < len(s.queue); i++ {
+		v := s.queue[i]
+		hv := s.hops[v]
+		for _, h := range g.adj[v] {
+			if s.seen[h.To] == s.epoch {
+				continue
+			}
+			if h.To == dst {
+				return int(hv) + 1, true
+			}
+			s.seen[h.To] = s.epoch
+			s.hops[h.To] = hv + 1
+			s.queue = append(s.queue, int32(h.To))
+		}
+	}
+	return 0, false
+}
+
+// searcherPool recycles Searchers across the Graph.Dijkstra* convenience
+// methods so their steady-state allocation count is zero.
+var searcherPool = sync.Pool{New: func() interface{} { return new(Searcher) }}
+
+// AcquireSearcher returns a pooled Searcher sized for n-vertex graphs.
+// Release it with ReleaseSearcher when done.
+func AcquireSearcher(n int) *Searcher {
+	s := searcherPool.Get().(*Searcher)
+	if len(s.seen) < n {
+		s.grow(n)
+	}
+	return s
+}
+
+// ReleaseSearcher returns s to the pool. The caller must not retain s or
+// any slice it returned (Ball results) past this call.
+func ReleaseSearcher(s *Searcher) {
+	searcherPool.Put(s)
+}

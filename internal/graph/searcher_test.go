@@ -1,0 +1,205 @@
+package graph_test
+
+// Differential tests pinning the allocation-free Searcher against the
+// O(n³) FloydWarshall reference and an independent map-based Dijkstra (the
+// implementation the Searcher replaced), on random α-UBG instances.
+
+import (
+	"container/heap"
+	"math"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/ubg"
+)
+
+// refItem / refPQ reproduce the retired container/heap implementation so
+// the differential test keeps an independent oracle.
+type refItem struct {
+	v    int
+	dist float64
+}
+
+type refPQ []refItem
+
+func (q refPQ) Len() int            { return len(q) }
+func (q refPQ) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q refPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *refPQ) Push(x interface{}) { *q = append(*q, x.(refItem)) }
+func (q *refPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// refBounded is the old map-based bounded Dijkstra, verbatim in behavior.
+func refBounded(g *graph.Graph, src int, bound float64) map[int]float64 {
+	out := make(map[int]float64)
+	visited := make(map[int]bool)
+	q := refPQ{{v: src, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(refItem)
+		if visited[it.v] {
+			continue
+		}
+		visited[it.v] = true
+		out[it.v] = it.dist
+		for _, h := range g.Neighbors(it.v) {
+			nd := it.dist + h.W
+			if nd <= bound && !visited[h.To] {
+				heap.Push(&q, refItem{v: h.To, dist: nd})
+			}
+		}
+	}
+	return out
+}
+
+func randomUBG(t *testing.T, n int, seed int64) *ubg.Instance {
+	t.Helper()
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Seed: seed},
+		ubg.Config{Alpha: 0.7, Model: ubg.ModelAll, Seed: seed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestSearcherMatchesFloydWarshall(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		inst := randomUBG(t, 40, seed)
+		g := inst.G
+		fw := g.FloydWarshall()
+		s := graph.NewSearcher(g.N())
+
+		dist := make([]float64, g.N())
+		for src := 0; src < g.N(); src++ {
+			s.Dijkstra(g, src, graph.Inf, dist)
+			for v := 0; v < g.N(); v++ {
+				if math.Abs(dist[v]-fw[src][v]) > 1e-12 {
+					t.Fatalf("seed %d: Dijkstra(%d)[%d] = %v, FW %v", seed, src, v, dist[v], fw[src][v])
+				}
+			}
+			for dst := 0; dst < g.N(); dst += 3 {
+				// Unbounded target query must match FW exactly.
+				d, ok := s.DijkstraTarget(g, src, dst, math.Inf(1))
+				if !ok || math.Abs(d-fw[src][dst]) > 1e-12 {
+					t.Fatalf("seed %d: target %d->%d = (%v, %v), FW %v", seed, src, dst, d, ok, fw[src][dst])
+				}
+				// Bounded query: found iff within bound, exact when found.
+				bound := fw[src][dst] * 0.999
+				if _, ok := s.DijkstraTarget(g, src, dst, bound); ok && src != dst {
+					t.Fatalf("seed %d: target %d->%d found below its distance", seed, src, dst)
+				}
+				// A shortest path must exist within the exact distance and sum to it.
+				path, pd, ok := s.PathTo(g, src, dst, fw[src][dst]+1e-12)
+				if !ok || math.Abs(pd-fw[src][dst]) > 1e-12 {
+					t.Fatalf("seed %d: PathTo %d->%d = (%v, %v), FW %v", seed, src, dst, pd, ok, fw[src][dst])
+				}
+				var sum float64
+				for i := 0; i+1 < len(path); i++ {
+					w, present := g.EdgeWeight(path[i], path[i+1])
+					if !present {
+						t.Fatalf("seed %d: PathTo hop %d-%d not an edge", seed, path[i], path[i+1])
+					}
+					sum += w
+				}
+				if path[0] != src || path[len(path)-1] != dst || math.Abs(sum-pd) > 1e-9 {
+					t.Fatalf("seed %d: PathTo %d->%d invalid path %v (sum %v, dist %v)", seed, src, dst, path, sum, pd)
+				}
+			}
+		}
+	}
+}
+
+func TestSearcherBallMatchesMapReference(t *testing.T) {
+	inst := randomUBG(t, 60, 9)
+	g := inst.G
+	s := graph.NewSearcher(g.N())
+	for src := 0; src < g.N(); src++ {
+		for _, bound := range []float64{0.1, 0.4, 1.1, math.Inf(1)} {
+			want := refBounded(g, src, bound)
+			ball := s.Ball(g, src, bound)
+			if len(ball) != len(want) {
+				t.Fatalf("Ball(%d, %v): %d vertices, reference %d", src, bound, len(ball), len(want))
+			}
+			for _, vd := range ball {
+				if w, ok := want[vd.V]; !ok || math.Abs(w-vd.D) > 1e-12 {
+					t.Fatalf("Ball(%d, %v): vertex %d dist %v, reference (%v, %v)", src, bound, vd.V, vd.D, w, ok)
+				}
+			}
+			// The delegating map API must agree too.
+			got := g.DijkstraBounded(src, bound)
+			if len(got) != len(want) {
+				t.Fatalf("DijkstraBounded(%d, %v): %d vertices, reference %d", src, bound, len(got), len(want))
+			}
+			for v, d := range got {
+				if math.Abs(d-want[v]) > 1e-12 {
+					t.Fatalf("DijkstraBounded(%d, %v)[%d] = %v, reference %v", src, bound, v, d, want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSearcherReuseAcrossGraphs exercises epoch reset and scratch growth:
+// one Searcher alternating between graphs of different sizes must keep
+// producing results identical to fresh computations.
+func TestSearcherReuseAcrossGraphs(t *testing.T) {
+	small := randomUBG(t, 25, 11).G
+	big := randomUBG(t, 70, 12).G
+	s := graph.NewSearcher(1)
+	for round := 0; round < 3; round++ {
+		for _, g := range []*graph.Graph{small, big, small} {
+			fw := g.FloydWarshall()
+			for src := 0; src < g.N(); src += 5 {
+				for dst := 0; dst < g.N(); dst += 7 {
+					d, ok := s.DijkstraTarget(g, src, dst, math.Inf(1))
+					if !ok || math.Abs(d-fw[src][dst]) > 1e-12 {
+						t.Fatalf("round %d: reused searcher %d->%d = (%v, %v), FW %v", round, src, dst, d, ok, fw[src][dst])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearcherHopsTo(t *testing.T) {
+	inst := randomUBG(t, 50, 21)
+	g := inst.G
+	s := graph.NewSearcher(g.N())
+	for src := 0; src < g.N(); src += 4 {
+		want := g.BFSHops(src, -1)
+		for dst := 0; dst < g.N(); dst += 3 {
+			h, ok := s.HopsTo(g, src, dst)
+			wh, wok := want[dst]
+			if ok != wok || (ok && h != wh) {
+				t.Fatalf("HopsTo(%d, %d) = (%d, %v), BFSHops %d %v", src, dst, h, ok, wh, wok)
+			}
+		}
+	}
+}
+
+// TestDijkstraTargetSteadyStateAllocs pins the tentpole's contract: a
+// steady-state DijkstraTarget performs zero allocations.
+func TestDijkstraTargetSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation pin not meaningful")
+	}
+	inst := randomUBG(t, 80, 31)
+	g := inst.G
+	// Warm the pooled searcher and its heap.
+	for i := 0; i < 10; i++ {
+		g.DijkstraTarget(0, g.N()-1, math.Inf(1))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		g.DijkstraTarget(0, g.N()-1, math.Inf(1))
+	})
+	if allocs != 0 {
+		t.Fatalf("DijkstraTarget allocates %v per op in steady state, want 0", allocs)
+	}
+}

@@ -1,41 +1,26 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
 // Inf is the distance reported for unreachable vertices.
 var Inf = math.Inf(1)
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	v    int
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+// The methods below are allocation-light conveniences over the reusable
+// Searcher (searcher.go): each borrows a pooled Searcher, so their
+// steady-state allocation count is zero apart from any result container
+// the API shape requires (the map of DijkstraBounded, the slice of
+// Dijkstra). Hot loops that issue many searches should hold an explicit
+// Searcher instead and call its methods directly.
 
 // Dijkstra returns the shortest-path distances from src to every vertex
 // (Inf for unreachable vertices). Edge weights must be non-negative.
 func (g *Graph) Dijkstra(src int) []float64 {
+	s := AcquireSearcher(g.n)
 	dist := make([]float64, g.n)
-	for i := range dist {
-		dist[i] = Inf
-	}
-	g.dijkstraInto(src, Inf, dist)
+	s.Dijkstra(g, src, Inf, dist)
+	ReleaseSearcher(s)
 	return dist
 }
 
@@ -43,25 +28,16 @@ func (g *Graph) Dijkstra(src int) []float64 {
 // every vertex within distance bound of src (inclusive). The search never
 // expands past the bound, so its cost is proportional to the size of the
 // metric ball — this is what makes the cluster-cover and cluster-graph
-// constructions cheap even when invoked once per vertex.
+// constructions cheap even when invoked once per vertex. Callers that
+// cannot afford the result map should use Searcher.Ball directly.
 func (g *Graph) DijkstraBounded(src int, bound float64) map[int]float64 {
-	out := make(map[int]float64)
-	visited := make(map[int]bool)
-	q := pq{{v: src, dist: 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if visited[it.v] {
-			continue
-		}
-		visited[it.v] = true
-		out[it.v] = it.dist
-		for _, h := range g.adj[it.v] {
-			nd := it.dist + h.W
-			if nd <= bound && !visited[h.To] {
-				heap.Push(&q, pqItem{v: h.To, dist: nd})
-			}
-		}
+	s := AcquireSearcher(g.n)
+	ball := s.Ball(g, src, bound)
+	out := make(map[int]float64, len(ball))
+	for _, vd := range ball {
+		out[vd.V] = vd.D
 	}
+	ReleaseSearcher(s)
 	return out
 }
 
@@ -70,49 +46,10 @@ func (g *Graph) DijkstraBounded(src int, bound float64) map[int]float64 {
 // result reports whether a path of length at most bound exists. This is the
 // primitive behind every greedy "is there a t-spanner path already?" query.
 func (g *Graph) DijkstraTarget(src, dst int, bound float64) (float64, bool) {
-	if src == dst {
-		return 0, true
-	}
-	visited := make(map[int]bool)
-	q := pq{{v: src, dist: 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if visited[it.v] {
-			continue
-		}
-		if it.v == dst {
-			return it.dist, true
-		}
-		visited[it.v] = true
-		for _, h := range g.adj[it.v] {
-			nd := it.dist + h.W
-			if nd <= bound && !visited[h.To] {
-				heap.Push(&q, pqItem{v: h.To, dist: nd})
-			}
-		}
-	}
-	return Inf, false
-}
-
-// dijkstraInto runs Dijkstra from src writing into dist, skipping expansion
-// beyond bound. dist must be pre-filled with Inf.
-func (g *Graph) dijkstraInto(src int, bound float64, dist []float64) {
-	visited := make([]bool, g.n)
-	q := pq{{v: src, dist: 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if visited[it.v] {
-			continue
-		}
-		visited[it.v] = true
-		dist[it.v] = it.dist
-		for _, h := range g.adj[it.v] {
-			nd := it.dist + h.W
-			if nd <= bound && !visited[h.To] {
-				heap.Push(&q, pqItem{v: h.To, dist: nd})
-			}
-		}
-	}
+	s := AcquireSearcher(g.n)
+	d, ok := s.DijkstraTarget(g, src, dst, bound)
+	ReleaseSearcher(s)
+	return d, ok
 }
 
 // BFSHops returns hop distances (unweighted) from src up to maxHops; vertices

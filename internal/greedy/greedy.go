@@ -28,12 +28,16 @@ import (
 // weight starting from an empty spanner, and phase 0 of the relaxed
 // algorithm is Run over each short-edge clique.
 func Run(sp *graph.Graph, edges []graph.Edge, t float64) []graph.Edge {
+	// One Searcher serves every per-edge query: greedy makes O(m) of them,
+	// so sharing the scratch arrays keeps the loop allocation-free.
+	s := graph.AcquireSearcher(sp.N())
+	defer graph.ReleaseSearcher(s)
 	var added []graph.Edge
 	for _, e := range edges {
 		if sp.HasEdge(e.U, e.V) {
 			continue
 		}
-		if _, ok := sp.DijkstraTarget(e.U, e.V, t*e.W); ok {
+		if _, ok := s.DijkstraTarget(sp, e.U, e.V, t*e.W); ok {
 			continue
 		}
 		sp.AddEdge(e.U, e.V, e.W)

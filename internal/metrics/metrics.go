@@ -8,7 +8,9 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"topoctl/internal/graph"
 )
@@ -21,61 +23,52 @@ import (
 // pair is (the standard spanner argument). Each edge query is a bounded
 // Dijkstra, so the cost is proportional to the number of edges times the
 // local ball size rather than n², which keeps exact verification feasible
-// throughout the test suite.
+// throughout the test suite. Edge queries are independent, so they are
+// fanned out over a worker pool (one Searcher per worker); the result is
+// deterministic regardless of worker count because each per-edge value is
+// computed identically and max is order-independent.
 //
 // Both graphs must share a vertex set. If some edge's endpoints are
 // disconnected in sp the stretch is +Inf.
 func Stretch(g, sp *graph.Graph) float64 {
-	worst := 1.0
-	for _, e := range g.Edges() {
+	return StretchParallel(g, sp, runtime.GOMAXPROCS(0))
+}
+
+// StretchParallel is Stretch with an explicit worker count (<= 1 runs
+// sequentially). All workers only read g and sp.
+func StretchParallel(g, sp *graph.Graph, workers int) float64 {
+	return worstOverEdges(g.EdgesUnordered(), workers, func(s *graph.Searcher, e graph.Edge) float64 {
 		if sp.HasEdge(e.U, e.V) {
-			continue
+			return 1
 		}
-		// Expand the budget geometrically until the path is found, so the
-		// common case (small stretch) stays cheap.
-		bound := 2 * e.W
-		var d float64
-		var ok bool
-		for i := 0; i < 24; i++ {
-			if d, ok = sp.DijkstraTarget(e.U, e.V, bound); ok {
-				break
-			}
-			bound *= 2
+		return edgeStretch(s, sp, e.U, e.V, e.W)
+	})
+}
+
+// edgeStretch returns sp_sp(u,v)/w, expanding the search budget
+// geometrically until the path is found so the common case (small stretch)
+// stays cheap; +Inf when no path exists.
+func edgeStretch(s *graph.Searcher, sp *graph.Graph, u, v int, w float64) float64 {
+	bound := 2 * w
+	for i := 0; i < 24; i++ {
+		if d, ok := s.DijkstraTarget(sp, u, v, bound); ok {
+			return d / w
 		}
-		if !ok {
-			return math.Inf(1)
-		}
-		if s := d / e.W; s > worst {
-			worst = s
-		}
+		bound *= 2
 	}
-	return worst
+	return math.Inf(1)
 }
 
 // StretchVsWeights is Stretch with an explicit base weight per edge of g:
 // weight(u, v, euclid) maps an edge to its metric weight, letting callers
 // verify energy-metric spanners whose base graph carries Euclidean weights.
+// weight must be safe for concurrent calls.
 func StretchVsWeights(g, sp *graph.Graph, weight func(u, v int, euclid float64) float64) float64 {
-	worst := 1.0
-	for _, e := range g.Edges() {
+	workers := runtime.GOMAXPROCS(0)
+	return worstOverEdges(g.EdgesUnordered(), workers, func(s *graph.Searcher, e graph.Edge) float64 {
 		w := weight(e.U, e.V, e.W)
-		bound := 2 * w
-		var d float64
-		var ok bool
-		for i := 0; i < 24; i++ {
-			if d, ok = sp.DijkstraTarget(e.U, e.V, bound); ok {
-				break
-			}
-			bound *= 2
-		}
-		if !ok {
-			return math.Inf(1)
-		}
-		if s := d / w; s > worst {
-			worst = s
-		}
-	}
-	return worst
+		return edgeStretch(s, sp, e.U, e.V, w)
+	})
 }
 
 // HopStretch returns the maximum ratio, over edges {u,v} of g, of the
@@ -84,19 +77,74 @@ func StretchVsWeights(g, sp *graph.Graph, weight func(u, v int, euclid float64) 
 // many short hops, which matters when per-hop processing dominates
 // propagation delay. +Inf if some edge's endpoints are disconnected in sp.
 func HopStretch(g, sp *graph.Graph) float64 {
-	worst := 1.0
-	for _, e := range g.Edges() {
+	workers := runtime.GOMAXPROCS(0)
+	return worstOverEdges(g.EdgesUnordered(), workers, func(s *graph.Searcher, e graph.Edge) float64 {
 		if sp.HasEdge(e.U, e.V) {
-			continue
+			return 1
 		}
-		// Breadth-first until the target is reached.
-		hops := sp.BFSHops(e.U, -1)
-		h, ok := hops[e.V]
+		h, ok := s.HopsTo(sp, e.U, e.V)
 		if !ok {
 			return math.Inf(1)
 		}
-		if fh := float64(h); fh > worst {
-			worst = fh
+		return float64(h)
+	})
+}
+
+// worstOverEdges evaluates eval on every edge and returns the maximum (at
+// least 1), fanning the edges out over min(workers, len(edges)) goroutines
+// with one Searcher each. A worker stops early once it observes +Inf —
+// nothing can exceed it. eval must not mutate shared state.
+func worstOverEdges(edges []graph.Edge, workers int, eval func(*graph.Searcher, graph.Edge) float64) float64 {
+	if len(edges) == 0 {
+		return 1
+	}
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+	if workers <= 1 {
+		s := graph.AcquireSearcher(0)
+		defer graph.ReleaseSearcher(s)
+		return worstOfRange(edges, s, eval)
+	}
+	worsts := make([]float64, workers)
+	chunk := (len(edges) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if lo >= hi {
+			worsts[w] = 1
+			continue
+		}
+		wg.Add(1)
+		go func(w int, part []graph.Edge) {
+			defer wg.Done()
+			s := graph.AcquireSearcher(0)
+			defer graph.ReleaseSearcher(s)
+			worsts[w] = worstOfRange(part, s, eval)
+		}(w, edges[lo:hi])
+	}
+	wg.Wait()
+	worst := 1.0
+	for _, v := range worsts {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func worstOfRange(edges []graph.Edge, s *graph.Searcher, eval func(*graph.Searcher, graph.Edge) float64) float64 {
+	worst := 1.0
+	for _, e := range edges {
+		if v := eval(s, e); v > worst {
+			worst = v
+			if math.IsInf(v, 1) {
+				break
+			}
 		}
 	}
 	return worst

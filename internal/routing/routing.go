@@ -105,42 +105,13 @@ func (r *Router) Route(scheme Scheme, s, t int) (Route, error) {
 
 // shortest routes along an exact shortest path (Dijkstra with parents).
 func (r *Router) shortest(s, t int) Route {
-	type label struct {
-		dist float64
-		prev int
+	srch := graph.AcquireSearcher(r.g.N())
+	defer graph.ReleaseSearcher(srch)
+	path, cost, ok := srch.PathTo(r.g, s, t, graph.Inf)
+	if !ok {
+		return Route{Delivered: false, Path: []int{s}}
 	}
-	settled := map[int]label{}
-	frontier := map[int]label{s: {dist: 0, prev: -1}}
-	for len(frontier) > 0 {
-		best, bl := -1, label{dist: math.Inf(1)}
-		for v, l := range frontier {
-			if l.dist < bl.dist || (l.dist == bl.dist && (best == -1 || v < best)) {
-				best, bl = v, l
-			}
-		}
-		delete(frontier, best)
-		settled[best] = bl
-		if best == t {
-			var path []int
-			for v := t; v != -1; v = settled[v].prev {
-				path = append(path, v)
-			}
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			return Route{Delivered: true, Path: path, Cost: bl.dist}
-		}
-		for _, h := range r.g.Neighbors(best) {
-			if _, done := settled[h.To]; done {
-				continue
-			}
-			nd := bl.dist + h.W
-			if cur, ok := frontier[h.To]; !ok || nd < cur.dist {
-				frontier[h.To] = label{dist: nd, prev: best}
-			}
-		}
-	}
-	return Route{Delivered: false, Path: []int{s}}
+	return Route{Delivered: true, Path: path, Cost: cost}
 }
 
 // greedy is memoryless greedy geographic forwarding.

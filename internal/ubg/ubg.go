@@ -135,8 +135,10 @@ func Build(points []geom.Point, cfg Config) (*graph.Graph, error) {
 		}
 	}
 	grid := geom.NewGrid(points, 1.0)
+	var nbrs []int // reused across vertices; see Grid.NeighborsAppend
 	for u := 0; u < n; u++ {
-		for _, v := range grid.Neighbors(points[u], 1.0, u) {
+		nbrs = grid.NeighborsAppend(nbrs[:0], points[u], 1.0, u)
+		for _, v := range nbrs {
 			if v <= u {
 				continue // handle each unordered pair once
 			}
