@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench ci
+.PHONY: all build check vet fmt test race bench bench-json ci
 
 all: check
 
@@ -25,13 +25,21 @@ test: build
 check: vet fmt test
 
 # Race-detector pass over the packages that exercise concurrency
-# (parallel stretch verification, pooled searchers, parallel experiment reps).
+# (parallel stretch verification, pooled searchers, parallel experiment
+# reps) plus the dynamic engine, whose differential test leans on them all.
 race:
-	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ .
+	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ .
 
 # Benchmark smoke: one iteration of each micro-benchmark with allocation
 # accounting, to catch perf regressions that change allocs/op.
+BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild' -benchmem -benchtime=10x .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x .
+
+# Machine-readable benchmark output (one JSON event per line, go test -json
+# framing) for trend tracking; pipe to a file or a collector. The recipe is
+# @-silenced so stdout is pure JSON.
+bench-json:
+	@$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x -json .
 
 ci: check race bench

@@ -41,4 +41,33 @@ func TestExperimentsCLI(t *testing.T) {
 	if strings.Contains(s, "T1-stretch") {
 		t.Fatal("-only filter leaked other tables")
 	}
+
+	// Churn scenario runner: reproducible under a fixed seed, zero
+	// invariant violations.
+	churnArgs := []string{"-churn", "-churn-n", "40", "-churn-ops", "30", "-churn-check", "10", "-seed", "3"}
+	out, err = exec.Command(bin, churnArgs...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("churn run: %v\n%s", err, out)
+	}
+	s = string(out)
+	if !strings.Contains(s, "churn scenario") || !strings.Contains(s, "0 violations") {
+		t.Fatalf("churn output missing expected lines:\n%s", s)
+	}
+	out2, err := exec.Command(bin, churnArgs...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("churn rerun: %v\n%s", err, out2)
+	}
+	stripTimes := func(s string) string {
+		// The repair-timing line is wall-clock and may differ between runs.
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "repair") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripTimes(string(out)) != stripTimes(string(out2)) {
+		t.Fatalf("churn runner not reproducible under fixed seed:\n%s\nvs\n%s", out, out2)
+	}
 }

@@ -1,0 +1,145 @@
+// Churn: incremental topology maintenance under node churn and mobility.
+//
+// Wireless nodes join, die, and move. Rebuilding the spanner from scratch
+// after every change costs Θ(n·ball) work per operation; the dynamic engine
+// (internal/dynamic) repairs only the bounded neighborhood a change can
+// affect, keeping per-operation cost independent of network size while the
+// stretch guarantee holds after every operation. This example streams a
+// mixed churn workload through the engine, verifies the invariant as it
+// goes, and times incremental repair against rebuild-from-scratch.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"topoctl/internal/dynamic"
+	"topoctl/internal/geom"
+	"topoctl/internal/greedy"
+	"topoctl/internal/metrics"
+	"topoctl/internal/ubg"
+)
+
+func main() {
+	if err := run(os.Stdout, 150, 300); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n, ops int) error {
+	const t = 1.5
+	side := ubg.DensitySide(n, 2, 1, 8) // expected degree ~8
+	pts := geom.GeneratePoints(geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Side: side, Seed: 42})
+
+	eng, err := dynamic.New(pts, dynamic.Options{T: t})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "initial deployment: %d nodes, %d radio links, %d spanner links (t = %.2f)\n\n",
+		eng.N(), eng.Base().M(), eng.Spanner().M(), t)
+
+	// A mixed churn stream: 25% joins, 25% departures, 50% movement.
+	rng := rand.New(rand.NewSource(7))
+	var ids []int
+	var incTotal time.Duration
+	checkpoints := ops / 4
+	if checkpoints < 1 {
+		checkpoints = 1
+	}
+	fmt.Fprintf(w, "streaming %d operations (join/leave/move = 1/1/2), verifying every %d:\n", ops, checkpoints)
+	for op := 1; op <= ops; op++ {
+		start := time.Now()
+		switch x := rng.Float64(); {
+		case x < 0.25:
+			if _, err := eng.Join(geom.Point{rng.Float64() * side, rng.Float64() * side}); err != nil {
+				return err
+			}
+		case x < 0.5 && eng.N() > n/2:
+			ids = eng.IDs(ids[:0])
+			if err := eng.Leave(ids[rng.Intn(len(ids))]); err != nil {
+				return err
+			}
+		default:
+			ids = eng.IDs(ids[:0])
+			id := ids[rng.Intn(len(ids))]
+			p := eng.Point(id).Clone()
+			p[0] += rng.NormFloat64() * 0.25
+			p[1] += rng.NormFloat64() * 0.25
+			if err := eng.Move(id, p); err != nil {
+				return err
+			}
+		}
+		incTotal += time.Since(start)
+		if op%checkpoints == 0 {
+			s := metrics.Stretch(eng.Base(), eng.Spanner())
+			status := "ok"
+			if s > t+1e-9 {
+				status = "VIOLATED"
+			}
+			fmt.Fprintf(w, "  after %4d ops: %3d nodes, %4d links, %4d spanner, stretch %.4f  [%s]\n",
+				op, eng.N(), eng.Base().M(), eng.Spanner().M(), s, status)
+			if status != "ok" {
+				return fmt.Errorf("stretch invariant violated: %v > %v", s, t)
+			}
+		}
+	}
+	st := eng.Stats()
+	fmt.Fprintf(w, "\nincremental repair: %v total (%v/op), %d candidates replayed, +%d/-%d spanner edges\n",
+		incTotal.Round(time.Microsecond), (incTotal / time.Duration(ops)).Round(time.Nanosecond),
+		st.Candidates, st.EdgesAdded, st.EdgesRemoved)
+
+	// What would the same stream cost with rebuild-from-scratch?
+	rebuilds := ops / 10
+	if rebuilds < 1 {
+		rebuilds = 1
+	}
+	cur := make([]geom.Point, 0, eng.N())
+	for _, id := range eng.IDs(nil) {
+		cur = append(cur, eng.Point(id).Clone())
+	}
+	start := time.Now()
+	for i := 0; i < rebuilds; i++ {
+		id := rng.Intn(len(cur))
+		cur[id][0] += rng.NormFloat64() * 0.25
+		cur[id][1] += rng.NormFloat64() * 0.25
+		g, err := ubg.Build(cur, ubg.Config{Alpha: 1, Model: ubg.ModelAll})
+		if err != nil {
+			return err
+		}
+		greedy.Spanner(g, t)
+	}
+	perRebuild := time.Since(start) / time.Duration(rebuilds)
+	perInc := incTotal / time.Duration(ops)
+	fmt.Fprintf(w, "rebuild-from-scratch: %v/op — incremental repair is %.1fx faster per operation\n\n",
+		perRebuild.Round(time.Microsecond), float64(perRebuild)/math.Max(1, float64(perInc)))
+
+	// Burst absorption: batched mode coalesces an op burst into one repair.
+	burst := 20
+	eng.Begin()
+	for i := 0; i < burst; i++ {
+		ids = eng.IDs(ids[:0])
+		id := ids[rng.Intn(len(ids))]
+		p := eng.Point(id).Clone()
+		p[0] += rng.NormFloat64() * 0.25
+		p[1] += rng.NormFloat64() * 0.25
+		if err := eng.Move(id, p); err != nil {
+			return err
+		}
+	}
+	before := eng.Stats().Repairs
+	eng.Commit()
+	s := metrics.Stretch(eng.Base(), eng.Spanner())
+	fmt.Fprintf(w, "burst of %d moves absorbed in %d repair pass(es); stretch %.4f — still within t = %.2f\n",
+		burst, eng.Stats().Repairs-before, s, t)
+	if s > t+1e-9 {
+		return fmt.Errorf("stretch invariant violated after batch: %v > %v", s, t)
+	}
+	return nil
+}

@@ -8,8 +8,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 	"sort"
 
 	"topoctl"
@@ -19,44 +21,50 @@ import (
 )
 
 func main() {
-	fmt.Println("== scaling: rounds vs n (ε = 0.5, α = 0.75) ==")
-	fmt.Printf("%6s %8s %12s %10s %14s\n", "n", "rounds", "messages", "phases", "rounds/log²n")
-	for _, n := range []int{32, 64, 128, 256} {
-		net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: n, Dim: 2, Alpha: 0.75, Seed: int64(n)})
+	if err := run(os.Stdout, 256); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int) error {
+	fmt.Fprintln(w, "== scaling: rounds vs n (ε = 0.5, α = 0.75) ==")
+	fmt.Fprintf(w, "%6s %8s %12s %10s %14s\n", "n", "rounds", "messages", "phases", "rounds/log²n")
+	for _, size := range scalingSizes(n) {
+		net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: size, Dim: 2, Alpha: 0.75, Seed: int64(size)})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		p, err := core.NewParams(0.5, 0.75, 2)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := dist.Build(net.Points, net.Graph, dist.Options{Params: p, Seed: 1})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		l := math.Log2(float64(n))
-		fmt.Printf("%6d %8d %12d %10d %14.1f\n", n, res.Rounds, res.Messages, len(res.Phases), float64(res.Rounds)/(l*l))
+		l := math.Log2(float64(size))
+		fmt.Fprintf(w, "%6d %8d %12d %10d %14.1f\n", size, res.Rounds, res.Messages, len(res.Phases), float64(res.Rounds)/(l*l))
 	}
 
-	fmt.Println("\n== one build in detail (n = 200) ==")
-	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: 200, Dim: 2, Alpha: 0.75, Seed: 5})
+	fmt.Fprintf(w, "\n== one build in detail (n = %d) ==\n", n)
+	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{N: n, Dim: 2, Alpha: 0.75, Seed: 5})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	p, err := core.NewParams(0.5, 0.75, 2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := dist.Build(net.Points, net.Graph, dist.Options{Params: p, Seed: 2})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	s := metrics.Stretch(net.Graph, res.Spanner)
-	fmt.Printf("spanner: %d edges, stretch %.4f (t = %.2f), max degree %d\n",
+	fmt.Fprintf(w, "spanner: %d edges, stretch %.4f (t = %.2f), max degree %d\n",
 		res.Spanner.M(), s, p.T, res.Spanner.MaxDegree())
-	fmt.Printf("protocol: %d rounds, %d messages, %d words\n\n", res.Rounds, res.Messages, res.Words)
+	fmt.Fprintf(w, "protocol: %d rounds, %d messages, %d words\n\n", res.Rounds, res.Messages, res.Words)
 
-	fmt.Println("per-step communication:")
+	fmt.Fprintln(w, "per-step communication:")
 	var steps []string
 	for st := range res.PerStep {
 		steps = append(steps, st)
@@ -64,7 +72,7 @@ func main() {
 	sort.Strings(steps)
 	for _, st := range steps {
 		c := res.PerStep[st]
-		fmt.Printf("  %-24s %6d rounds %12d messages (%4.1f%%)\n",
+		fmt.Fprintf(w, "  %-24s %6d rounds %12d messages (%4.1f%%)\n",
 			st, c.Rounds, c.Messages, 100*float64(c.Messages)/float64(res.Messages))
 	}
 
@@ -74,23 +82,42 @@ func main() {
 	if len(phases) > 10 {
 		phases = phases[:10]
 	}
-	fmt.Println("\nmost expensive phases (bin = geometric weight class):")
-	fmt.Printf("  %5s %7s %8s %8s %7s %7s\n", "bin", "edges", "rounds", "gatherK", "MIS", "added")
+	fmt.Fprintln(w, "\nmost expensive phases (bin = geometric weight class):")
+	fmt.Fprintf(w, "  %5s %7s %8s %8s %7s %7s\n", "bin", "edges", "rounds", "gatherK", "MIS", "added")
 	for _, pc := range phases {
-		fmt.Printf("  %5d %7d %8d %8d %7d %7d\n", pc.Bin, pc.Edges, pc.Rounds, pc.GatherK, pc.MISRounds, pc.Added)
+		fmt.Fprintf(w, "  %5d %7d %8d %8d %7d %7d\n", pc.Bin, pc.Edges, pc.Rounds, pc.GatherK, pc.MISRounds, pc.Added)
 	}
 
-	fmt.Println("\nMIS backend comparison (same instance):")
+	fmt.Fprintln(w, "\nMIS backend comparison (same instance):")
 	for _, greedy := range []bool{false, true} {
 		r, err := dist.Build(net.Points, net.Graph, dist.Options{Params: p, Seed: 2, UseGreedyMIS: greedy})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		name := "luby (randomized, counted)"
 		if greedy {
 			name = "greedy (deterministic ref)"
 		}
-		fmt.Printf("  %-28s edges=%d stretch=%.4f rounds=%d\n",
+		fmt.Fprintf(w, "  %-28s edges=%d stretch=%.4f rounds=%d\n",
 			name, r.Spanner.M(), metrics.Stretch(net.Graph, r.Spanner), r.Rounds)
 	}
+	return nil
+}
+
+// scalingSizes returns the instance sizes for the scaling sweep, halving
+// down from n with a floor of 16.
+func scalingSizes(n int) []int {
+	var sizes []int
+	for size := n / 8; size <= n; size *= 2 {
+		if size >= 16 {
+			sizes = append(sizes, size)
+		}
+		if size == 0 {
+			break
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{n}
+	}
+	return sizes
 }

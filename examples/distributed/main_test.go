@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall smoke-tests the example body at a small instance size.
+func TestRunSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 64); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"scaling: rounds vs n", "per-step communication:", "MIS backend comparison"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,30 +10,38 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"topoctl"
 	"topoctl/internal/fault"
 )
 
 func main() {
-	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{
-		N: 250, Dim: 2, Alpha: 0.9, Seed: 21,
-	})
-	if err != nil {
+	if err := run(os.Stdout, 250); err != nil {
 		log.Fatal(err)
 	}
-	const t = 1.5
-	fmt.Printf("network: %d nodes, %d links; target stretch t = %v\n\n", net.Graph.N(), net.Graph.M(), t)
+}
 
-	fmt.Printf("%-8s %-3s %-7s %-10s %-12s %s\n",
+func run(w io.Writer, n int) error {
+	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{
+		N: n, Dim: 2, Alpha: 0.9, Seed: 21,
+	})
+	if err != nil {
+		return err
+	}
+	const t = 1.5
+	fmt.Fprintf(w, "network: %d nodes, %d links; target stretch t = %v\n\n", net.Graph.N(), net.Graph.M(), t)
+
+	fmt.Fprintf(w, "%-8s %-3s %-7s %-10s %-12s %s\n",
 		"faults", "k", "links", "overhead", "violations", "worst stretch after faults")
 	for _, mode := range []fault.Mode{fault.EdgeFaults, fault.VertexFaults} {
 		var plainEdges int
 		for _, k := range []int{0, 1, 2} {
 			sp, err := topoctl.FaultTolerantSpanner(net.Graph, t, k, mode == fault.VertexFaults)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if k == 0 {
 				plainEdges = sp.M()
@@ -49,12 +57,13 @@ func main() {
 			if res.WorstStretch > 1e17 {
 				worst = "DISCONNECTED"
 			}
-			fmt.Printf("%-8s %-3d %-7d %+8.1f%% %5d/%-6d %s\n",
+			fmt.Fprintf(w, "%-8s %-3d %-7d %+8.1f%% %5d/%-6d %s\n",
 				mode, k, sp.M(),
 				100*(float64(sp.M())/float64(plainEdges)-1),
 				res.Violations, res.Trials, worst)
 		}
 	}
-	fmt.Println("\nk ≥ 1 rows survive their fault budget with zero violations; the")
-	fmt.Println("unprotected spanner (k=0) degrades or disconnects under the same faults.")
+	fmt.Fprintln(w, "\nk ≥ 1 rows survive their fault budget with zero violations; the")
+	fmt.Fprintln(w, "unprotected spanner (k=0) degrades or disconnects under the same faults.")
+	return nil
 }

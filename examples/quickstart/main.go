@@ -6,25 +6,33 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"topoctl"
 )
 
 func main() {
-	// A 400-node sensor field modeled as a 2-dimensional 0.75-quasi unit
+	if err := run(os.Stdout, 400); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int) error {
+	// An n-node sensor field modeled as a 2-dimensional 0.75-quasi unit
 	// ball graph: nodes within distance 0.75 always hear each other, nodes
 	// beyond distance 1 never do.
 	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{
-		N:     400,
+		N:     n,
 		Dim:   2,
 		Alpha: 0.75,
 		Seed:  42,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("network: %d nodes, %d links, max degree %d\n",
+	fmt.Fprintf(w, "network: %d nodes, %d links, max degree %d\n",
 		net.Graph.N(), net.Graph.M(), net.Graph.MaxDegree())
 
 	// Build a 1.5-spanner (ε = 0.5).
@@ -33,19 +41,20 @@ func main() {
 		Alpha:   0.75,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	q := topoctl.Evaluate(net.Graph, res.Spanner)
-	fmt.Printf("spanner: %d links (%.0f%% of input)\n",
+	fmt.Fprintf(w, "spanner: %d links (%.0f%% of input)\n",
 		q.Edges, 100*float64(q.Edges)/float64(net.Graph.M()))
-	fmt.Printf("  stretch      %.4f   (guarantee: ≤ %.2f)\n", q.Stretch, res.Stretch)
-	fmt.Printf("  max degree   %d        (guarantee: O(1))\n", q.MaxDegree)
-	fmt.Printf("  weight/MST   %.3f    (guarantee: O(1))\n", q.WeightRatio)
-	fmt.Printf("  power/MST    %.3f\n", q.PowerRatio)
+	fmt.Fprintf(w, "  stretch      %.4f   (guarantee: ≤ %.2f)\n", q.Stretch, res.Stretch)
+	fmt.Fprintf(w, "  max degree   %d        (guarantee: O(1))\n", q.MaxDegree)
+	fmt.Fprintf(w, "  weight/MST   %.3f    (guarantee: O(1))\n", q.WeightRatio)
+	fmt.Fprintf(w, "  power/MST    %.3f\n", q.PowerRatio)
 
 	if q.Stretch > res.Stretch {
-		log.Fatal("stretch guarantee violated — this is a bug")
+		return fmt.Errorf("stretch guarantee violated — this is a bug")
 	}
-	fmt.Println("all guarantees verified ✔")
+	fmt.Fprintln(w, "all guarantees verified ✔")
+	return nil
 }

@@ -12,45 +12,57 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"topoctl"
 	"topoctl/internal/routing"
 )
 
 func main() {
+	if err := run(os.Stdout, 350); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int) error {
 	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{
-		N: 350, Dim: 2, Alpha: 0.85, Seed: 13,
+		N: n, Dim: 2, Alpha: 0.85, Seed: 13,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	spanner, err := topoctl.Build(net.Points, net.Graph, topoctl.Options{
 		Epsilon: 0.5, Alpha: 0.85,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mst, err := topoctl.Baseline(topoctl.BaselineMST, net.Points, net.Graph, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("network %d nodes: full=%d links, spanner=%d, mst=%d\n\n",
+	fmt.Fprintf(w, "network %d nodes: full=%d links, spanner=%d, mst=%d\n\n",
 		net.Graph.N(), net.Graph.M(), spanner.Spanner.M(), mst.M())
 
-	queries := routing.RandomQueries(net.Graph.N(), 200, 99)
+	nq := 200
+	if nq > n {
+		nq = n
+	}
+	queries := routing.RandomQueries(net.Graph.N(), nq, 99)
 
 	// Base costs: exact shortest paths on the full network.
 	full, err := routing.NewRouter(net.Graph, net.Points)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	base := make([]float64, len(queries))
 	for i, q := range queries {
 		r, err := full.Route(routing.SchemeShortestPath, q.S, q.T)
 		if err != nil || !r.Delivered {
-			log.Fatal("full network must deliver everything")
+			return fmt.Errorf("full network must deliver everything")
 		}
 		base[i] = r.Cost
 	}
@@ -65,24 +77,25 @@ func main() {
 	}
 	schemes := []routing.Scheme{routing.SchemeShortestPath, routing.SchemeGreedy, routing.SchemeCompass}
 
-	fmt.Printf("%-14s %-15s %10s %10s %10s %10s\n",
+	fmt.Fprintf(w, "%-14s %-15s %10s %10s %10s %10s\n",
 		"topology", "scheme", "delivered", "avg cost", "stretch", "avg hops")
 	for _, tp := range topos {
 		router, err := routing.NewRouter(tp.g, net.Points)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for _, sc := range schemes {
 			st, err := router.Evaluate(sc, queries, base)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("%-14s %-15s %6d/%-3d %10.3f %10.3f %10.1f\n",
+			fmt.Fprintf(w, "%-14s %-15s %6d/%-3d %10.3f %10.3f %10.1f\n",
 				tp.name, sc, st.Delivered, st.Queries, st.AvgCost, st.AvgStretch, st.AvgHops)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-	fmt.Println("Shortest-path routing over the spanner stays within its t-guarantee of")
-	fmt.Println("the full network at a fraction of the links; the MST pays a 2x+ detour")
-	fmt.Println("penalty and starves the memoryless schemes.")
+	fmt.Fprintln(w, "Shortest-path routing over the spanner stays within its t-guarantee of")
+	fmt.Fprintln(w, "the full network at a fraction of the links; the MST pays a 2x+ detour")
+	fmt.Fprintln(w, "penalty and starves the memoryless schemes.")
+	return nil
 }

@@ -12,7 +12,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	"topoctl"
@@ -20,19 +22,25 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, 300); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int) error {
 	// Clustered deployment: dense sensor clumps with sparse bridges — the
 	// hard case for naive topology control.
 	net, err := topoctl.RandomNetwork(topoctl.NetworkSpec{
-		N:     300,
+		N:     n,
 		Dim:   2,
 		Alpha: 0.8,
 		Seed:  7,
 		Cloud: geom.CloudClustered,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("deployment: %d sensors, %d radio links\n", net.Graph.N(), net.Graph.M())
+	fmt.Fprintf(w, "deployment: %d sensors, %d radio links\n", net.Graph.N(), net.Graph.M())
 
 	const gamma = 2.0 // free-space path-loss exponent
 
@@ -44,7 +52,7 @@ func main() {
 		EnergyGamma: gamma,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Power cost: each sensor transmits at the power needed to reach its
@@ -65,9 +73,9 @@ func main() {
 		return total
 	}
 	before, after := power(net.Graph), power(res.Spanner)
-	fmt.Printf("energy spanner: %d links kept, t = %.2f in the energy metric\n",
+	fmt.Fprintf(w, "energy spanner: %d links kept, t = %.2f in the energy metric\n",
 		res.Spanner.M(), res.Stretch)
-	fmt.Printf("aggregate transmit power: %.2f → %.2f (%.0f%% saved)\n",
+	fmt.Fprintf(w, "aggregate transmit power: %.2f → %.2f (%.0f%% saved)\n",
 		before, after, 100*(1-after/before))
 
 	// Distributed execution: what would the real protocol cost?
@@ -77,9 +85,9 @@ func main() {
 		Seed:    1,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ndistributed protocol: %d rounds, %d messages (%d words)\n",
+	fmt.Fprintf(w, "\ndistributed protocol: %d rounds, %d messages (%d words)\n",
 		dres.Rounds, dres.Messages, dres.Words)
 	var steps []string
 	for s := range dres.PerStep {
@@ -88,6 +96,7 @@ func main() {
 	sort.Strings(steps)
 	for _, s := range steps {
 		c := dres.PerStep[s]
-		fmt.Printf("  %-22s %6d rounds  %12d messages\n", s, c.Rounds, c.Messages)
+		fmt.Fprintf(w, "  %-22s %6d rounds  %12d messages\n", s, c.Rounds, c.Messages)
 	}
+	return nil
 }

@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"topoctl/internal/core"
+	"topoctl/internal/geom"
+	"topoctl/internal/metrics"
+	"topoctl/internal/ubg"
+)
+
+func distInstance(t *testing.T, n int, alpha float64, seed int64) *ubg.Instance {
+	t.Helper()
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Seed: seed},
+		ubg.Config{Alpha: alpha, Model: ubg.ModelAll, Seed: seed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestDistMatchesCore is the differential test for the distributed
+// implementation: on identical inputs, with the deterministic greedy MIS
+// backend, the distributed build must produce exactly the spanner the
+// sequential build produces — lazy updating means every node works against
+// the spanner frozen at the end of the previous phase, so the per-phase
+// local computations coincide (Theorem 14's argument), and the greedy MIS
+// elects the same centers as sequential peeling. Luby's randomized MIS may
+// elect a different (equally valid) cover, so for it the pin is the
+// contract instead: a t-spanner of near-identical size, reproduced exactly
+// under a fixed seed.
+func TestDistMatchesCore(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		alpha float64
+		eps   float64
+		seed  int64
+	}{
+		{40, 0.75, 0.5, 1},
+		{64, 0.75, 0.5, 2},
+		{64, 0.9, 0.25, 3},
+		{96, 0.75, 0.5, 4},
+	} {
+		t.Run(fmt.Sprintf("n=%d/alpha=%v/eps=%v", tc.n, tc.alpha, tc.eps), func(t *testing.T) {
+			inst := distInstance(t, tc.n, tc.alpha, tc.seed)
+			p, err := core.NewParams(tc.eps, tc.alpha, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := core.Build(inst.Points, inst.G, core.Options{Params: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprint(seq.Spanner.Edges())
+
+			// Deterministic backend: edge-for-edge equality.
+			res, err := Build(inst.Points, inst.G, Options{Params: p, Seed: 7, UseGreedyMIS: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprint(res.Spanner.Edges()); got != want {
+				t.Fatalf("distributed spanner (greedy MIS) diverged from sequential\n got: %s\nwant: %s", got, want)
+			}
+			if s := metrics.Stretch(inst.G, res.Spanner); s > p.T+1e-9 {
+				t.Fatalf("greedy MIS: stretch %v exceeds t=%v", s, p.T)
+			}
+
+			// Randomized backend: contract equivalence + seed determinism.
+			luby, err := Build(inst.Points, inst.G, Options{Params: p, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s := metrics.Stretch(inst.G, luby.Spanner); s > p.T+1e-9 {
+				t.Fatalf("luby: stretch %v exceeds t=%v", s, p.T)
+			}
+			if ratio := float64(luby.Spanner.M()) / float64(seq.Spanner.M()); ratio < 0.8 || ratio > 1.25 {
+				t.Fatalf("luby spanner size %d diverges from sequential %d (ratio %.3f)",
+					luby.Spanner.M(), seq.Spanner.M(), ratio)
+			}
+			luby2, err := Build(inst.Points, inst.G, Options{Params: p, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(luby.Spanner.Edges()) != fmt.Sprint(luby2.Spanner.Edges()) {
+				t.Fatal("luby backend not deterministic under a fixed seed")
+			}
+		})
+	}
+}
+
+// TestDistCommunicationDeterministicAndPositive pins the protocol
+// accounting: identical options give identical round/message/word totals
+// and per-phase breakdowns, and every total is positive (a build that
+// charges no communication is a simulation bug).
+func TestDistCommunicationDeterministicAndPositive(t *testing.T) {
+	inst := distInstance(t, 64, 0.75, 5)
+	p, err := core.NewParams(0.5, 0.75, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Params: p, Seed: 11}
+	a, err := Build(inst.Points, inst.G, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(inst.Points, inst.G, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Messages != b.Messages || a.Words != b.Words {
+		t.Fatalf("same seed, different totals: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Rounds, a.Messages, a.Words, b.Rounds, b.Messages, b.Words)
+	}
+	if fmt.Sprint(a.Phases) != fmt.Sprint(b.Phases) {
+		t.Fatalf("same seed, different phase costs:\n%v\nvs\n%v", a.Phases, b.Phases)
+	}
+	if a.Rounds <= 0 || a.Messages <= 0 || a.Words <= 0 {
+		t.Fatalf("non-positive communication totals: rounds=%d messages=%d words=%d",
+			a.Rounds, a.Messages, a.Words)
+	}
+	if len(a.Phases) == 0 {
+		t.Fatal("no phase costs recorded")
+	}
+	for _, pc := range a.Phases {
+		if pc.Rounds <= 0 || pc.Edges <= 0 || pc.GatherK <= 0 {
+			t.Fatalf("degenerate phase cost: %+v", pc)
+		}
+	}
+	// Per-step totals must sum to the build totals.
+	var rounds int
+	var msgs int64
+	for _, c := range a.PerStep {
+		rounds += c.Rounds
+		msgs += c.Messages
+	}
+	if rounds != a.Rounds || msgs != a.Messages {
+		t.Fatalf("per-step sums (%d rounds, %d messages) != totals (%d, %d)",
+			rounds, msgs, a.Rounds, a.Messages)
+	}
+	// A different seed may elect different Luby centers but must still
+	// match the sequential spanner (see TestDistMatchesCore); its round
+	// count can differ, which is exactly why the accounting is explicit.
+	c, err := Build(inst.Points, inst.G, Options{Params: p, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds <= 0 {
+		t.Fatalf("non-positive rounds under different seed: %d", c.Rounds)
+	}
+}
+
+// TestDistStatsMatchCoreCounters checks the shared work counters: the
+// distributed build reports the same added-edge totals as its spanner.
+func TestDistStatsMatchCoreCounters(t *testing.T) {
+	inst := distInstance(t, 48, 0.75, 6)
+	p, err := core.NewParams(0.5, 0.75, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(inst.Points, inst.G, Options{Params: p, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Spanner.M(), res.Stats.Added-res.Stats.RemovedRedundant; got != want {
+		t.Fatalf("spanner has %d edges but stats say %d added - %d removed",
+			got, res.Stats.Added, res.Stats.RemovedRedundant)
+	}
+	if res.Stats.Phases <= 0 || res.Stats.EdgesTotal != inst.G.M() {
+		t.Fatalf("stats inconsistent: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,157 @@
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"topoctl/internal/core"
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/metrics"
+	"topoctl/internal/ubg"
+)
+
+// TestDifferentialChurn is the pinning harness for the incremental engine:
+// for ≥ 1000 fuzzed operation sequences (random sizes, rates, stretch
+// targets, and batching), after every sequence
+//
+//  1. the maintained base graph is structurally identical to ubg.Build on
+//     the final point set,
+//  2. the maintained spanner has stretch ≤ t over the current base graph
+//     (verified exactly with metrics.Stretch), and
+//  3. the maintained spanner's edge count is within a constant factor of a
+//     fresh core.Build (the paper's one-shot algorithm) on the final point
+//     set — incremental maintenance never degenerates toward the complete
+//     graph.
+//
+// Sequence generation is deterministic, so any failure reproduces from its
+// logged seed.
+func TestDifferentialChurn(t *testing.T) {
+	sequences := 1000
+	if testing.Short() {
+		sequences = 150
+	}
+	// Edge-count bound: maintained spanner vs fresh relaxed-greedy build.
+	// The maintained spanner replays pure SEQ-GREEDY acceptance, which is
+	// sparser per-decision than the relaxed algorithm, but repair order
+	// differs from global greedy order, so allow a generous constant.
+	const factor = 3.0
+	const slack = 8 // additive slack for tiny final graphs
+
+	worstRatio := 0.0
+	for seq := 0; seq < sequences; seq++ {
+		seed := int64(1000 + seq)
+		rng := rand.New(rand.NewSource(seed))
+		n0 := 12 + rng.Intn(28)
+		tStretch := []float64{1.3, 1.5, 2.0}[rng.Intn(3)]
+		side := 1.5 + rng.Float64()*2.5
+		ops := 5 + rng.Intn(11)
+		batch := 1
+		if rng.Intn(3) == 0 {
+			batch = 2 + rng.Intn(4)
+		}
+
+		pts := geom.GeneratePoints(geom.CloudConfig{Kind: geom.CloudUniform, N: n0, Dim: 2, Side: side, Seed: seed})
+		e, err := New(pts, Options{T: tStretch})
+		if err != nil {
+			t.Fatalf("seq %d (seed %d): %v", seq, seed, err)
+		}
+
+		inBatch := 0
+		for op := 0; op < ops; op++ {
+			if batch > 1 && inBatch == 0 {
+				e.Begin()
+			}
+			switch r := rng.Float64(); {
+			case r < 0.3:
+				if _, err := e.Join(geom.Point{rng.Float64() * side, rng.Float64() * side}); err != nil {
+					t.Fatalf("seq %d (seed %d) op %d join: %v", seq, seed, op, err)
+				}
+			case r < 0.55 && e.N() > 4:
+				ids := e.IDs(nil)
+				if err := e.Leave(ids[rng.Intn(len(ids))]); err != nil {
+					t.Fatalf("seq %d (seed %d) op %d leave: %v", seq, seed, op, err)
+				}
+			default:
+				ids := e.IDs(nil)
+				id := ids[rng.Intn(len(ids))]
+				p := e.Point(id).Clone()
+				for i := range p {
+					p[i] += rng.NormFloat64() * 0.3
+				}
+				if err := e.Move(id, p); err != nil {
+					t.Fatalf("seq %d (seed %d) op %d move: %v", seq, seed, op, err)
+				}
+			}
+			inBatch++
+			if batch > 1 && (inBatch == batch || op == ops-1) {
+				e.Commit()
+				inBatch = 0
+			}
+		}
+
+		// (2) Stretch bound over the live base graph.
+		if s := metrics.Stretch(e.Base(), e.Spanner()); s > tStretch+1e-9 {
+			t.Fatalf("seq %d (seed %d): stretch %v exceeds %v", seq, seed, s, tStretch)
+		}
+
+		// (1) Base graph matches a from-scratch UBG build on the final
+		// point set (compacted to dense ids).
+		ids := e.IDs(nil)
+		finalPts := make([]geom.Point, len(ids))
+		slot := make(map[int]int, len(ids))
+		for i, id := range ids {
+			finalPts[i] = e.Point(id)
+			slot[id] = i
+		}
+		freshBase, err := ubg.Build(finalPts, ubg.Config{Alpha: 1, Model: ubg.ModelAll})
+		if err != nil {
+			t.Fatalf("seq %d (seed %d): %v", seq, seed, err)
+		}
+		if got, want := edgeKeys(e.Base(), slot), edgeKeys(freshBase, nil); got != want {
+			t.Fatalf("seq %d (seed %d): maintained base graph diverged from ubg.Build\n got: %s\nwant: %s", seq, seed, got, want)
+		}
+
+		// (3) Edge count within a constant factor of the one-shot build.
+		p, err := core.NewParams(tStretch-1, 1, 2)
+		if err != nil {
+			t.Fatalf("seq %d (seed %d): %v", seq, seed, err)
+		}
+		fresh, err := core.Build(finalPts, freshBase, core.Options{Params: p})
+		if err != nil {
+			t.Fatalf("seq %d (seed %d): %v", seq, seed, err)
+		}
+		got, want := e.Spanner().M(), fresh.Spanner.M()
+		if float64(got) > factor*float64(want)+slack {
+			t.Fatalf("seq %d (seed %d): maintained spanner has %d edges, fresh build %d — beyond %gx+%d",
+				seq, seed, got, want, factor, slack)
+		}
+		if want > 0 {
+			if r := float64(got) / float64(want); r > worstRatio {
+				worstRatio = r
+			}
+		}
+	}
+	t.Logf("%d sequences; worst maintained/fresh edge ratio %.3f", sequences, worstRatio)
+}
+
+// edgeKeys renders a graph's edge set (optionally remapped through slot) as
+// a canonical string for structural comparison.
+func edgeKeys(g *graph.Graph, slot map[int]int) string {
+	es := g.EdgesUnordered()
+	keys := make([]string, 0, len(es))
+	for _, e := range es {
+		u, v := e.U, e.V
+		if slot != nil {
+			u, v = slot[u], slot[v]
+			if u > v {
+				u, v = v, u
+			}
+		}
+		keys = append(keys, fmt.Sprintf("%d-%d:%.9f", u, v, e.W))
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}

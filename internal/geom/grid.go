@@ -2,61 +2,131 @@ package geom
 
 import "math"
 
-// Grid is a uniform spatial hash over R^d used for fixed-radius neighbor
-// queries. Building an α-UBG naively costs Θ(n²) distance checks; with a
-// grid of cell side equal to the query radius only O(3^d) cells need to be
-// inspected per query, which keeps network generation linear for the
-// bounded-density point clouds the experiments use.
-//
-// A Grid reuses internal scratch buffers between queries, so it is not
-// safe for concurrent use; index the same points into separate Grids for
-// parallel querying.
-type Grid struct {
-	cell   float64
-	dim    int
-	points []Point
-	cells  map[string][]int
+// cellHash is the cell-indexing core shared by Grid and DynamicGrid: the
+// byte-string encoding of integer cell coordinates and the odometer scan
+// over the O(⌈radius/cell⌉^d) cells a fixed-radius query must inspect. It
+// owns the query scratch buffers, so neither sharer is safe for concurrent
+// use.
+type cellHash struct {
+	cell  float64
+	dim   int
+	cells map[string][]int
 
-	// Query scratch, reused across calls so the per-vertex neighbor scan
-	// of ubg.Build performs no steady-state allocations.
+	// Query scratch, reused across calls so neighbor scans perform no
+	// steady-state allocations.
 	keybuf  []byte
 	base    []int64
 	offsets []int64
 }
 
-// NewGrid indexes the given points with the given cell side. cell must be
-// positive and all points must share the same dimension.
-func NewGrid(points []Point, cell float64) *Grid {
+// newCellHash returns an empty hash with the given cell side (must be
+// positive).
+func newCellHash(cell float64) cellHash {
 	if cell <= 0 {
 		panic("geom: grid cell side must be positive")
 	}
-	g := &Grid{cell: cell, points: points, cells: make(map[string][]int)}
-	if len(points) > 0 {
-		g.dim = points[0].Dim()
-	}
-	g.keybuf = make([]byte, 0, 8*g.dim)
-	g.base = make([]int64, g.dim)
-	g.offsets = make([]int64, g.dim)
-	for i, p := range points {
-		k := g.key(p)
-		g.cells[k] = append(g.cells[k], i)
-	}
-	return g
+	return cellHash{cell: cell, cells: make(map[string][]int)}
+}
+
+// setDim fixes the dimension and sizes the scratch buffers.
+func (h *cellHash) setDim(dim int) {
+	h.dim = dim
+	h.keybuf = make([]byte, 0, 8*dim)
+	h.base = make([]int64, dim)
+	h.offsets = make([]int64, dim)
 }
 
 // key computes the cell key of point p. Keys are encoded as small byte
 // strings of the integer cell coordinates; map[string] gives us a compact,
 // allocation-friendly multi-dimensional hash without unsafe tricks.
-func (g *Grid) key(p Point) string {
-	buf := g.keybuf[:0]
+func (h *cellHash) key(p Point) string {
+	buf := h.keybuf[:0]
 	for _, c := range p {
-		ic := int64(math.Floor(c / g.cell))
+		ic := int64(math.Floor(c / h.cell))
 		for s := 0; s < 64; s += 8 {
 			buf = append(buf, byte(ic>>s))
 		}
 	}
-	g.keybuf = buf
+	h.keybuf = buf
 	return string(buf)
+}
+
+// scanAppend appends to dst the indices of all indexed points q (positions
+// resolved through pts; other than index self, pass -1 to disable
+// self-exclusion) with |p - q| <= radius, and returns the extended slice.
+// radius is supported up to any multiple of the cell side (⌈radius/cell⌉
+// cells are scanned per axis), but the scan is most efficient when
+// radius <= cell.
+func (h *cellHash) scanAppend(dst []int, pts []Point, p Point, radius float64, self int) []int {
+	span := int64(math.Ceil(radius / h.cell))
+	for i, c := range p {
+		h.base[i] = int64(math.Floor(c / h.cell))
+		h.offsets[i] = -span
+	}
+	r2 := radius * radius
+	for {
+		// Visit cell base+offsets.
+		buf := h.keybuf[:0]
+		for i := 0; i < h.dim; i++ {
+			ic := h.base[i] + h.offsets[i]
+			for s := 0; s < 64; s += 8 {
+				buf = append(buf, byte(ic>>s))
+			}
+		}
+		h.keybuf = buf
+		for _, idx := range h.cells[string(buf)] {
+			if idx == self {
+				continue
+			}
+			if DistSq(p, pts[idx]) <= r2 {
+				dst = append(dst, idx)
+			}
+		}
+		// Advance the offset vector like an odometer.
+		i := 0
+		for ; i < h.dim; i++ {
+			h.offsets[i]++
+			if h.offsets[i] <= span {
+				break
+			}
+			h.offsets[i] = -span
+		}
+		if i == h.dim {
+			break
+		}
+	}
+	return dst
+}
+
+// Grid is a uniform spatial hash over R^d used for fixed-radius neighbor
+// queries on a static point set. Building an α-UBG naively costs Θ(n²)
+// distance checks; with a grid of cell side equal to the query radius only
+// O(3^d) cells need to be inspected per query, which keeps network
+// generation linear for the bounded-density point clouds the experiments
+// use. For a point set that changes over time, use DynamicGrid.
+//
+// A Grid reuses internal scratch buffers between queries, so it is not
+// safe for concurrent use; index the same points into separate Grids for
+// parallel querying.
+type Grid struct {
+	cellHash
+	points []Point
+}
+
+// NewGrid indexes the given points with the given cell side. cell must be
+// positive and all points must share the same dimension.
+func NewGrid(points []Point, cell float64) *Grid {
+	g := &Grid{cellHash: newCellHash(cell), points: points}
+	dim := 0
+	if len(points) > 0 {
+		dim = points[0].Dim()
+	}
+	g.setDim(dim)
+	for i, p := range points {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
 }
 
 // Neighbors returns the indices of all points q (other than index self, pass
@@ -71,52 +141,13 @@ func (g *Grid) Neighbors(p Point, radius float64, self int) []int {
 // index self; pass -1 to disable self-exclusion) with |p - q| <= radius,
 // and returns the extended slice. Passing dst[:0] of a slice reused across
 // calls makes the query allocation-free once the slice has grown to the
-// largest neighborhood. radius is supported up to any multiple of the cell
-// side (⌈radius/cell⌉ cells are scanned per axis), but the scan is most
-// efficient when radius <= cell. Not safe for concurrent use: the query
-// reuses the Grid's scratch buffers.
+// largest neighborhood. Not safe for concurrent use: the query reuses the
+// Grid's scratch buffers.
 func (g *Grid) NeighborsAppend(dst []int, p Point, radius float64, self int) []int {
 	if len(g.points) == 0 {
 		return dst
 	}
-	span := int64(math.Ceil(radius / g.cell))
-	for i, c := range p {
-		g.base[i] = int64(math.Floor(c / g.cell))
-		g.offsets[i] = -span
-	}
-	r2 := radius * radius
-	for {
-		// Visit cell base+offsets.
-		buf := g.keybuf[:0]
-		for i := 0; i < g.dim; i++ {
-			ic := g.base[i] + g.offsets[i]
-			for s := 0; s < 64; s += 8 {
-				buf = append(buf, byte(ic>>s))
-			}
-		}
-		g.keybuf = buf
-		for _, idx := range g.cells[string(buf)] {
-			if idx == self {
-				continue
-			}
-			if DistSq(p, g.points[idx]) <= r2 {
-				dst = append(dst, idx)
-			}
-		}
-		// Advance the offset vector like an odometer.
-		i := 0
-		for ; i < g.dim; i++ {
-			g.offsets[i]++
-			if g.offsets[i] <= span {
-				break
-			}
-			g.offsets[i] = -span
-		}
-		if i == g.dim {
-			break
-		}
-	}
-	return dst
+	return g.scanAppend(dst, g.points, p, radius, self)
 }
 
 // Len returns the number of indexed points.

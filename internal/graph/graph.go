@@ -207,6 +207,20 @@ func (g *Graph) TotalWeight() float64 {
 	return s
 }
 
+// Grow extends the vertex set to 0..n-1, keeping all existing edges. It is
+// a no-op when the graph already has at least n vertices. Grow is what lets
+// long-lived dynamic topologies (internal/dynamic) admit new nodes without
+// rebuilding: amortized-doubling callers pay O(1) per join.
+func (g *Graph) Grow(n int) {
+	if n <= g.n {
+		return
+	}
+	adj := make([][]Halfedge, n)
+	copy(adj, g.adj)
+	g.adj = adj
+	g.n = n
+}
+
 func (g *Graph) check(u int) {
 	if u < 0 || u >= g.n {
 		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))

@@ -162,3 +162,26 @@ func TestIsSubgraphOf(t *testing.T) {
 		t.Error("different vertex counts should fail")
 	}
 }
+
+func TestGrowKeepsEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.Grow(6)
+	if g.N() != 6 {
+		t.Fatalf("N = %d, want 6", g.N())
+	}
+	if g.M() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatalf("edges lost across Grow: m=%d", g.M())
+	}
+	// New slots are usable immediately.
+	g.AddEdge(2, 5, 3)
+	if !g.HasEdge(2, 5) || g.Degree(4) != 0 {
+		t.Fatal("grown slots unusable")
+	}
+	// Shrinking or same-size calls are no-ops.
+	g.Grow(2)
+	if g.N() != 6 || g.M() != 3 {
+		t.Fatalf("Grow(2) mutated the graph: n=%d m=%d", g.N(), g.M())
+	}
+}

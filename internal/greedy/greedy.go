@@ -34,16 +34,28 @@ func Run(sp *graph.Graph, edges []graph.Edge, t float64) []graph.Edge {
 	defer graph.ReleaseSearcher(s)
 	var added []graph.Edge
 	for _, e := range edges {
-		if sp.HasEdge(e.U, e.V) {
-			continue
-		}
-		if _, ok := s.DijkstraTarget(sp, e.U, e.V, t*e.W); ok {
+		if !Accept(s, sp, e, t) {
 			continue
 		}
 		sp.AddEdge(e.U, e.V, e.W)
 		added = append(added, e)
 	}
 	return added
+}
+
+// Accept is the greedy edge-acceptance rule in isolation: edge e belongs in
+// spanner sp iff sp neither contains it nor t-spans it (no path between its
+// endpoints of length at most t·w(e)). Accept does not modify sp; callers
+// that accept the edge must add it themselves. It is shared by Run and by
+// the incremental repair passes of internal/dynamic, which replay the rule
+// over only the edges whose certifying paths a topology change may have
+// broken.
+func Accept(s *graph.Searcher, sp *graph.Graph, e graph.Edge, t float64) bool {
+	if sp.HasEdge(e.U, e.V) {
+		return false
+	}
+	_, ok := s.DijkstraTarget(sp, e.U, e.V, t*e.W)
+	return !ok
 }
 
 // Spanner runs SEQ-GREEDY on g with stretch factor t and returns the

@@ -162,3 +162,37 @@ func TestSpannerWeightNearMST(t *testing.T) {
 		t.Errorf("weight ratio %v implausibly high for t=1.5", ratio)
 	}
 }
+
+// TestAcceptMatchesRun pins the extracted acceptance rule against Run: an
+// edge is accepted exactly when Run would have added it at that point.
+func TestAcceptMatchesRun(t *testing.T) {
+	_, g := testInstance(t, 60, 7)
+	edges := g.Edges()
+	const tt = 1.5
+	sp := graph.New(g.N())
+	ref := graph.New(g.N())
+	refAdded := Run(ref, edges, tt)
+	s := graph.AcquireSearcher(g.N())
+	defer graph.ReleaseSearcher(s)
+	var added []graph.Edge
+	for _, e := range edges {
+		if Accept(s, sp, e, tt) {
+			sp.AddEdge(e.U, e.V, e.W)
+			added = append(added, e)
+		}
+	}
+	if len(added) != len(refAdded) {
+		t.Fatalf("Accept loop added %d edges, Run added %d", len(added), len(refAdded))
+	}
+	for i := range added {
+		if added[i] != refAdded[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, added[i], refAdded[i])
+		}
+	}
+	// Accept must not mutate the spanner.
+	m := sp.M()
+	Accept(s, sp, edges[0], tt)
+	if sp.M() != m {
+		t.Fatal("Accept mutated the spanner")
+	}
+}

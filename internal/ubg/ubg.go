@@ -245,7 +245,7 @@ func GenerateConnected(cloud geom.CloudConfig, cfg Config) (*Instance, error) {
 	side := cloud.Side
 	if side <= 0 {
 		// Default: aim for expected degree ~ 8 under radius alpha.
-		side = densitySide(cloud.N, cloud.Dim, cfg.Alpha, 8)
+		side = DensitySide(cloud.N, cloud.Dim, cfg.Alpha, 8)
 	}
 	for attempt := 0; attempt < 40; attempt++ {
 		c := cloud
@@ -264,9 +264,11 @@ func GenerateConnected(cloud geom.CloudConfig, cfg Config) (*Instance, error) {
 	return nil, fmt.Errorf("ubg: could not generate a connected instance (n=%d d=%d alpha=%v)", cloud.N, cloud.Dim, cfg.Alpha)
 }
 
-// densitySide returns the box side so that n balls of radius r in
-// dimension d give expected degree approximately deg.
-func densitySide(n, d int, r float64, deg float64) float64 {
+// DensitySide returns the box side so that n balls of radius r in
+// dimension d give expected degree approximately deg. It is the density
+// target shared by GenerateConnected, the churn scenario runner, and the
+// churn benchmarks.
+func DensitySide(n, d int, r float64, deg float64) float64 {
 	// Expected neighbors ≈ n * volume(ball r) / side^d = deg.
 	vol := ballVolume(d, r)
 	side := math.Pow(float64(n)*vol/deg, 1/float64(d))
