@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-json ci
+.PHONY: all build check vet fmt test race bench bench-json serve-smoke ci
 
 all: check
 
@@ -26,20 +26,46 @@ check: vet fmt test
 
 # Race-detector pass over the packages that exercise concurrency
 # (parallel stretch verification, pooled searchers, parallel experiment
-# reps) plus the dynamic engine, whose differential test leans on them all.
+# reps), the dynamic engine, and the serving layer, whose stress test runs
+# ≥8 concurrent readers against a live mutator.
 race:
-	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ .
+	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ ./internal/service/ .
 
 # Benchmark smoke: one iteration of each micro-benchmark with allocation
 # accounting, to catch perf regressions that change allocs/op.
-BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn
+BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn|BenchmarkService
+BENCH_PKGS = . ./internal/service/
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x $(BENCH_PKGS)
 
 # Machine-readable benchmark output (one JSON event per line, go test -json
 # framing) for trend tracking; pipe to a file or a collector. The recipe is
 # @-silenced so stdout is pure JSON.
 bench-json:
-	@$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x -json .
+	@$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x -json $(BENCH_PKGS)
 
-ci: check race bench
+# End-to-end smoke of the topology daemon: boot it on SMOKE_ADDR, poll
+# /healthz until live, route one packet, read /stats, and shut it down.
+SMOKE_ADDR ?= 127.0.0.1:7079
+serve-smoke:
+	@set -e; \
+	bin=$$(mktemp -t topoctld.XXXXXX); \
+	$(GO) build -o $$bin ./cmd/topoctld; \
+	log=$$(mktemp -t topoctld-log.XXXXXX); \
+	$$bin serve -addr $(SMOKE_ADDR) -n 64 -seed 1 >$$log 2>&1 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true; rm -f $$bin $$log" EXIT; \
+	ok=0; i=0; while [ $$i -lt 50 ]; do \
+		if curl -fsS http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; i=$$((i+1)); \
+	done; \
+	if [ $$ok -ne 1 ]; then echo "daemon never became healthy:"; cat $$log; exit 1; fi; \
+	if ! kill -0 $$pid 2>/dev/null; then \
+		echo "daemon we started is dead; a stale listener answered on $(SMOKE_ADDR):"; cat $$log; exit 1; \
+	fi; \
+	curl -fsS http://$(SMOKE_ADDR)/healthz; \
+	curl -fsS -X POST -d '{"scheme":"shortest-path","src":0,"dst":13}' http://$(SMOKE_ADDR)/route; \
+	curl -fsS http://$(SMOKE_ADDR)/stats; \
+	echo "serve-smoke OK"
+
+ci: check race bench serve-smoke

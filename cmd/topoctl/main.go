@@ -91,12 +91,7 @@ func (gf *genFlags) network() (*topoctl.Network, error) {
 			N: gf.n, Dim: gf.d, Alpha: gf.alpha, Seed: gf.seed,
 		})
 	}
-	f, err := os.Open(gf.in)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	inst, err := netio.Read(f)
+	inst, err := netio.ReadFrom(gf.in) // .gz transparently decompressed
 	if err != nil {
 		return nil, err
 	}
@@ -121,16 +116,11 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
+	inst := &netio.Instance{Points: net.Points, G: net.Graph, Alpha: gf.alpha}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+		return netio.WriteTo(*out, inst) // .gz compresses by extension
 	}
-	return netio.Write(w, &netio.Instance{Points: net.Points, G: net.Graph, Alpha: gf.alpha})
+	return netio.Write(os.Stdout, inst)
 }
 
 func cmdViz(args []string) error {

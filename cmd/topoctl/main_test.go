@@ -55,6 +55,21 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("build output missing fields:\n%s", out)
 	}
 
+	// The same pipeline through a gzip-compressed instance file.
+	gzFile := filepath.Join(dir, "net.topo.gz")
+	run(t, bin, "gen", "-n", "60", "-alpha", "0.75", "-seed", "3", "-o", gzFile)
+	gz, err := os.ReadFile(gzFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gz) < 2 || gz[0] != 0x1f || gz[1] != 0x8b {
+		t.Fatalf("gen -o %s did not gzip (leading bytes % x)", gzFile, gz[:2])
+	}
+	gzOut := run(t, bin, "build", "-in", gzFile, "-eps", "0.5", "-algo", "relaxed")
+	if gzOut != out {
+		t.Fatalf("compressed instance built differently:\n%s\nvs\n%s", gzOut, out)
+	}
+
 	out = run(t, bin, "build", "-in", ubgFile, "-eps", "0.5", "-algo", "dist", "-v")
 	if !strings.Contains(out, "rounds=") || !strings.Contains(out, "phase/gather") {
 		t.Fatalf("dist build output missing fields:\n%s", out)

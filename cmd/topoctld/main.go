@@ -1,0 +1,185 @@
+// Command topoctld is the topology query daemon: it loads (or generates) a
+// network deployment, builds and incrementally maintains its t-spanner,
+// and serves concurrent route / neighborhood / statistics queries over
+// HTTP while mutation batches stream in.
+//
+// Subcommands:
+//
+//	serve  start the daemon
+//	bench  drive a running daemon with a concurrent zipfian route workload
+//
+// Examples:
+//
+//	topoctld serve -addr :7077 -n 512 -seed 1
+//	topoctld serve -addr :7077 -in net.topo.gz -t 1.5
+//	topoctld bench -addr http://127.0.0.1:7077 -clients 32 -duration 5s
+//	topoctld bench -self -n 512 -clients 32 -duration 5s -mutate 50
+//
+// The serving core is internal/service: an RCU-style snapshot of the
+// topology is swapped atomically after every mutation batch, so reads
+// never block on writers; see that package for the design.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/netio"
+	"topoctl/internal/service"
+	"topoctl/internal/ubg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topoctld: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "topoctld: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: topoctld <serve|bench> [flags]
+  serve  [-addr :7077] [-in FILE(.gz) | -n N -d D -deg DEG -seed S] [-t T] [-radius R] [-cache C]
+         start the daemon; without -in a uniform deployment of N nodes is generated
+  bench  [-addr URL | -self [serve flags]] [-clients C] [-duration D] [-zipf S] [-scheme NAME] [-mutate OPS/S]
+         drive a daemon with C concurrent zipfian clients and report QPS + latency percentiles`)
+}
+
+// serveFlags configures the daemon core (shared by serve and bench -self;
+// the listen address is a serve-only flag, bench has its own -addr).
+type serveFlags struct {
+	in     string
+	n, d   int
+	deg    float64
+	seed   int64
+	t      float64
+	radius float64
+	cache  int
+	sample int
+}
+
+func addServeFlags(fs *flag.FlagSet) *serveFlags {
+	sf := &serveFlags{}
+	fs.StringVar(&sf.in, "in", "", "load the deployment from this netio file (.gz supported) instead of generating")
+	fs.IntVar(&sf.n, "n", 256, "generated node count")
+	fs.IntVar(&sf.d, "d", 2, "generated dimension")
+	fs.Float64Var(&sf.deg, "deg", 8, "generated expected base degree")
+	fs.Int64Var(&sf.seed, "seed", 1, "generation seed")
+	fs.Float64Var(&sf.t, "t", 1.5, "spanner stretch bound (> 1)")
+	fs.Float64Var(&sf.radius, "radius", 1, "connectivity radius of the maintained base graph")
+	fs.IntVar(&sf.cache, "cache", 8192, "route cache capacity per snapshot")
+	fs.IntVar(&sf.sample, "stretch-sample", 256, "base-edge sample size for the /stats stretch estimate")
+	return sf
+}
+
+// points loads or generates the deployment. The daemon maintains its own
+// radius-model base graph over the point set, so only positions are taken
+// from an input file (its edge list documents how the instance was
+// generated, not what the daemon must serve).
+func (sf *serveFlags) points() ([]geom.Point, error) {
+	if sf.in != "" {
+		inst, err := netio.ReadFrom(sf.in)
+		if err != nil {
+			return nil, err
+		}
+		return inst.Points, nil
+	}
+	side := ubg.DensitySide(sf.n, sf.d, sf.radius, sf.deg)
+	return geom.GeneratePoints(geom.CloudConfig{
+		Kind: geom.CloudUniform, N: sf.n, Dim: sf.d, Side: side, Seed: sf.seed,
+	}), nil
+}
+
+// newService builds the serving core from the flags.
+func (sf *serveFlags) newService() (*service.Service, error) {
+	pts, err := sf.points()
+	if err != nil {
+		return nil, err
+	}
+	// service.New infers the dimension from the points; -d only matters
+	// for generation.
+	return service.New(pts, service.Options{
+		T:             sf.t,
+		Radius:        sf.radius,
+		Dim:           sf.d,
+		CacheSize:     sf.cache,
+		StretchSample: sf.sample,
+		Seed:          sf.seed,
+	})
+}
+
+// newHTTPServer wraps the service handler with the timeouts a long-lived
+// daemon needs: slow or idle clients must not pin goroutines and file
+// descriptors forever.
+func newHTTPServer(svc *service.Service) *http.Server {
+	return &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7077", "listen address")
+	sf := addServeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, err := sf.newService()
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	st := svc.Stats()
+	log.Printf("serving on %s: %d nodes, %d base links, %d spanner links (t=%.3g, max degree %d)",
+		ln.Addr(), st.Nodes, st.BaseEdges, st.SpannerEdges, st.StretchBound, st.MaxDegree)
+
+	srv := newHTTPServer(svc)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/netio"
+	"topoctl/internal/ubg"
+)
+
+// buildBinary compiles the daemon once per test into a temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "topoctld")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the daemon on an ephemeral port and waits for
+// /healthz, returning the base URL.
+func startDaemon(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0", "-n", "64", "-seed", "1"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	})
+	// The startup line reports the bound address: "serving on 127.0.0.1:NNN: ...".
+	var addr string
+	buf := make([]byte, 4096)
+	deadline := time.Now().Add(10 * time.Second)
+	var logged strings.Builder
+	for addr == "" && time.Now().Before(deadline) {
+		n, err := stderr.Read(buf)
+		if n > 0 {
+			logged.Write(buf[:n])
+			if i := strings.Index(logged.String(), "serving on "); i >= 0 {
+				rest := logged.String()[i+len("serving on "):]
+				if j := strings.Index(rest, ":"); j >= 0 {
+					if k := strings.Index(rest[j+1:], ":"); k >= 0 {
+						addr = rest[:j+1+k]
+					}
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported its address; log so far:\n%s", logged.String())
+	}
+	base := "http://" + addr
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became healthy", base)
+	return ""
+}
+
+// TestDaemonEndToEnd boots the real binary and exercises every endpoint,
+// then drives it with a short bench run (the load generator doubles as an
+// integration client).
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and boots a daemon")
+	}
+	bin := buildBinary(t)
+	base := startDaemon(t, bin)
+
+	get := func(path string) map[string]any {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	if st := get("/stats"); st["nodes"].(float64) != 64 {
+		t.Fatalf("stats = %v", st)
+	}
+	if nb := get("/node/3/neighbors"); nb["id"].(float64) != 3 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	resp, err := http.Post(base+"/route", "application/json",
+		strings.NewReader(`{"src":0,"dst":11}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var route map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&route); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || route["delivered"] != true {
+		t.Fatalf("route: status %d body %v", resp.StatusCode, route)
+	}
+
+	// Mutate over the wire and watch the version advance.
+	resp, err = http.Post(base+"/mutate", "application/json",
+		strings.NewReader(`{"ops":[{"op":"move","id":5,"point":[1.0,1.0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mres map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&mres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mres["version"].(float64) != 2 || mres["applied"].(float64) != 1 {
+		t.Fatalf("mutate = %v", mres)
+	}
+
+	// A short bench run against the live daemon.
+	out, err := exec.Command(bin, "bench", "-addr", base,
+		"-clients", "4", "-duration", "300ms", "-mutate", "20").CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench: %v\n%s", err, out)
+	}
+	for _, want := range []string{"QPS", "p99", "delivered"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("bench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDaemonServesGzipInstance round-trips a .topo.gz deployment through
+// the daemon.
+func TestDaemonServesGzipInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and boots a daemon")
+	}
+	// Generate a compressed instance with the sibling CLI's netio format.
+	dir := t.TempDir()
+	gz := filepath.Join(dir, "net.topo.gz")
+	genInstance(t, gz, 48)
+
+	bin := buildBinary(t)
+	base := startDaemon(t, bin, "-in", gz)
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["nodes"].(float64) != 48 {
+		t.Fatalf("daemon loaded %v nodes from %s, want 48", st["nodes"], gz)
+	}
+}
+
+// TestCLIErrors: bad usage must exit non-zero.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := buildBinary(t)
+	for _, args := range [][]string{
+		{"bogus"},
+		{"serve", "-in", "/nonexistent.topo.gz"},
+		{"bench", "-addr", "http://127.0.0.1:1", "-duration", "100ms"},
+		{"bench", "-self", "-scheme", "warp"},
+	} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("topoctld %v should fail", args)
+		}
+	}
+}
+
+// genInstance writes a small gzip-compressed instance using the library.
+func genInstance(t *testing.T, path string, n int) {
+	t.Helper()
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Seed: 5},
+		ubg.Config{Alpha: 1, Model: ubg.ModelAll, Seed: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netio.WriteTo(path, &netio.Instance{Points: inst.Points, G: inst.G, Alpha: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Service: concurrent topology queries over snapshot hot-swap.
+//
+// A deployed network is useless if every routing decision requires
+// rebuilding topology state: real overlays answer route queries online
+// while the node set churns underneath. This example runs the serving
+// layer (internal/service) in process: it routes a few packets over the
+// maintained t-spanner, applies a mutation batch — nodes join, move, and
+// leave — and shows that the topology version advances, the route cache
+// invalidates wholesale, and answers stay consistent with exactly one
+// snapshot before and after the swap. It finishes by querying the same
+// service over its HTTP surface, the protocol cmd/topoctld speaks.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/routing"
+	"topoctl/internal/service"
+	"topoctl/internal/ubg"
+)
+
+func main() {
+	if err := run(os.Stdout, 120); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int) error {
+	side := ubg.DensitySide(n, 2, 1, 8) // expected base degree ~8
+	pts := geom.GeneratePoints(geom.CloudConfig{
+		Kind: geom.CloudUniform, N: n, Dim: 2, Side: side, Seed: 11,
+	})
+	svc, err := service.New(pts, service.Options{T: 1.5})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	st := svc.Stats()
+	fmt.Fprintf(w, "serving %d nodes: %d base links thinned to %d spanner links (t = %.2f, max degree %d)\n\n",
+		st.Nodes, st.BaseEdges, st.SpannerEdges, st.StretchBound, st.MaxDegree)
+
+	// Route a few packets against one snapshot: every answer carries the
+	// topology version it is valid on.
+	snap := svc.Snapshot()
+	pairs := [][2]int{{0, n / 2}, {3, n - 5}, {7, n / 3}}
+	for _, p := range pairs {
+		res, err := snap.Route(routing.SchemeShortestPath, p[0], p[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "route %3d -> %3d  (v%d): %2d hops, cost %.3f, stretch %.4f\n",
+			p[0], p[1], res.Version, res.Route.Hops(), res.Route.Cost, res.Stretch)
+	}
+	again, err := snap.Route(routing.SchemeShortestPath, 0, n/2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "route %3d -> %3d  (v%d): served from cache: %v\n\n", 0, n/2, again.Version, again.Cached)
+
+	// One mutation batch: a join, a move, a departure. The writer applies
+	// it through the dynamic engine's coalesced repair and atomically
+	// publishes the successor snapshot.
+	mres, err := svc.Mutate([]service.Op{
+		{Kind: service.OpJoin, Point: geom.Point{side / 2, side / 2}},
+		{Kind: service.OpMove, ID: 3, Point: geom.Point{side / 4, side / 4}},
+		{Kind: service.OpLeave, ID: n / 2},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mutation batch applied: %d ops -> topology v%d (node %d joined)\n",
+		mres.Applied, mres.Version, mres.Results[0].ID)
+
+	// The old snapshot is frozen — the departed node still routes there —
+	// while the new snapshot has moved on.
+	if _, err := snap.Route(routing.SchemeShortestPath, 0, n/2); err != nil {
+		return fmt.Errorf("old snapshot must stay serveable: %w", err)
+	}
+	_, err = svc.Route(routing.SchemeShortestPath, 0, n/2)
+	fmt.Fprintf(w, "old snapshot v%d still answers for the departed node; v%d correctly refuses: %v\n\n",
+		snap.Version, mres.Version, err != nil)
+
+	st = svc.Stats()
+	fmt.Fprintf(w, "after churn: %d nodes, %d spanner links, worst sampled stretch %.4f (bound %.2f, exact %v)\n\n",
+		st.Nodes, st.SpannerEdges, st.StretchEstimate, st.StretchBound, st.StretchExact)
+
+	// The same service over HTTP: what cmd/topoctld serves.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/node/3/neighbors")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var nbrs service.NeighborsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&nbrs); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "GET /node/3/neighbors (v%d): spanner degree %d of base degree %d\n",
+		nbrs.Version, nbrs.Degree, nbrs.BaseDegree)
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall smoke-tests the example body at a small instance size.
+func TestRunSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 60); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"serving 60 nodes:", "served from cache: true", "mutation batch applied:", "GET /node/3/neighbors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -226,6 +226,23 @@ func (e *Engine) Spanner() *graph.Graph { return e.sp }
 // Stats returns the accumulated work counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Export deep-copies the engine's current state: slot-indexed positions
+// (nil for free slots), the alive mask, and the base graph and spanner
+// (free slots are isolated vertices). The copies share no memory with the
+// engine, so callers may publish them to concurrent readers while the
+// engine keeps mutating — this is what the serving layer's snapshot swap
+// is built on.
+func (e *Engine) Export() (points []geom.Point, alive []bool, base, sp *graph.Graph) {
+	points = make([]geom.Point, len(e.points))
+	for id, p := range e.points {
+		if e.alive[id] {
+			points[id] = p.Clone()
+		}
+	}
+	alive = append([]bool(nil), e.alive...)
+	return points, alive, e.base.Clone(), e.sp.Clone()
+}
+
 // Options returns the normalized engine options.
 func (e *Engine) Options() Options { return e.opts }
 

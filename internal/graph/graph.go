@@ -227,6 +227,29 @@ func (g *Graph) check(u int) {
 	}
 }
 
+// PathWeight returns the total weight of the vertex sequence path walked
+// edge by edge in g, reporting false if any consecutive pair is not an edge
+// (or any vertex is out of range). A path of zero or one vertex has weight
+// 0 and is always valid. Concurrent serving layers use it to certify that a
+// delivered route is consistent with one specific topology snapshot.
+func PathWeight(g *Graph, path []int) (float64, bool) {
+	var sum float64
+	for i, v := range path {
+		if v < 0 || v >= g.n {
+			return 0, false
+		}
+		if i == 0 {
+			continue
+		}
+		w, ok := g.EdgeWeight(path[i-1], v)
+		if !ok {
+			return 0, false
+		}
+		sum += w
+	}
+	return sum, true
+}
+
 // FromEdges builds a graph on n vertices from an edge list.
 func FromEdges(n int, edges []Edge) *Graph {
 	g := New(n)

@@ -185,3 +185,31 @@ func TestGrowKeepsEdges(t *testing.T) {
 		t.Fatalf("Grow(2) mutated the graph: n=%d m=%d", g.N(), g.M())
 	}
 }
+
+func TestPathWeight(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1.5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 0.5)
+	cases := []struct {
+		name string
+		path []int
+		want float64
+		ok   bool
+	}{
+		{"empty", nil, 0, true},
+		{"single", []int{3}, 0, true},
+		{"full walk", []int{0, 1, 2, 3}, 4, true},
+		{"reverse walk", []int{3, 2, 1, 0}, 4, true},
+		{"missing edge", []int{0, 2}, 0, false},
+		{"out of range", []int{0, 1, 5}, 0, false},
+		{"negative vertex", []int{-1, 0}, 0, false},
+		{"isolated ok vertex", []int{4}, 0, true},
+	}
+	for _, c := range cases {
+		got, ok := PathWeight(g, c.path)
+		if ok != c.ok || got != c.want {
+			t.Errorf("%s: PathWeight = (%v, %v), want (%v, %v)", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -16,8 +16,10 @@ package netio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -156,6 +158,63 @@ func Read(r io.Reader) (*Instance, error) {
 		if p == nil {
 			return nil, fmt.Errorf("netio: vertex %d missing", i)
 		}
+	}
+	return inst, nil
+}
+
+// compressed reports whether path names a gzip-compressed instance file.
+// Instances compress ~4x (coordinates and weights share long digit runs),
+// which is what makes shipping large deployments to a remote topoctld
+// daemon cheap; `.topo.gz` is the conventional extension but any `.gz`
+// suffix triggers compression.
+func compressed(path string) bool { return strings.HasSuffix(path, ".gz") }
+
+// WriteTo serializes the instance to the named file, gzip-compressing when
+// the path ends in .gz (conventionally .topo.gz).
+func WriteTo(path string, inst *Instance) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if !compressed(path) {
+		return Write(f, inst)
+	}
+	zw := gzip.NewWriter(f)
+	if err := Write(zw, inst); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadFrom parses an instance from the named file, transparently
+// decompressing when the path ends in .gz.
+func ReadFrom(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if !compressed(path) {
+		return Read(f)
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("netio: %s: %w", path, err)
+	}
+	defer zr.Close()
+	inst, err := Read(zr)
+	if err != nil {
+		return nil, err
+	}
+	// Surface trailing-garbage / checksum errors the scanner already
+	// consumed past.
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("netio: %s: %w", path, err)
 	}
 	return inst, nil
 }

@@ -3,6 +3,8 @@ package netio
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -141,5 +143,67 @@ func TestWriteDOTNoHighlight(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "#0050b0") {
 		t.Error("unexpected highlight edges")
+	}
+}
+
+// sameInstance fails the test unless a and b are exactly equal.
+func sameInstance(t *testing.T, a, b *Instance) {
+	t.Helper()
+	if b.Alpha != a.Alpha || len(b.Points) != len(a.Points) || b.G.M() != a.G.M() {
+		t.Fatalf("shape mismatch: alpha %v/%v n %d/%d m %d/%d",
+			b.Alpha, a.Alpha, len(b.Points), len(a.Points), b.G.M(), a.G.M())
+	}
+	for i := range a.Points {
+		if geom.Dist(a.Points[i], b.Points[i]) != 0 {
+			t.Fatalf("point %d not exactly preserved", i)
+		}
+	}
+	for _, e := range a.G.Edges() {
+		w, ok := b.G.EdgeWeight(e.U, e.V)
+		if !ok || w != e.W {
+			t.Fatalf("edge %v not exactly preserved (got %v, %v)", e, w, ok)
+		}
+	}
+}
+
+func TestFileRoundTripGzip(t *testing.T) {
+	in := testInstance(t)
+	dir := t.TempDir()
+	for _, name := range []string{"inst.topo", "inst.topo.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteTo(path, in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := ReadFrom(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameInstance(t, in, out)
+	}
+
+	// The .gz file must actually be gzip (magic bytes) and smaller than the
+	// plain encoding of the same instance.
+	plain, err := os.ReadFile(filepath.Join(dir, "inst.topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := os.ReadFile(filepath.Join(dir, "inst.topo.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) < 2 || packed[0] != 0x1f || packed[1] != 0x8b {
+		t.Fatal("compressed file lacks gzip magic")
+	}
+	if len(packed) >= len(plain) {
+		t.Errorf("gzip did not shrink instance: %d >= %d bytes", len(packed), len(plain))
+	}
+
+	// A plain-text file mislabeled .gz must fail loudly, not parse garbage.
+	bad := filepath.Join(dir, "bad.topo.gz")
+	if err := os.WriteFile(bad, plain, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(bad); err == nil {
+		t.Error("mislabeled .gz parsed without error")
 	}
 }

@@ -10,6 +10,7 @@
 package routing
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,12 @@ import (
 	"topoctl/internal/geom"
 	"topoctl/internal/graph"
 )
+
+// ErrOutOfRange is returned (wrapped, with the offending endpoints) when a
+// route request names a vertex outside [0, n). Callers distinguish it from
+// other failures with errors.Is; the serving layer maps it to 400/404
+// responses instead of treating a bad request as an internal error.
+var ErrOutOfRange = errors.New("routing: endpoint out of range")
 
 // Scheme selects a forwarding strategy.
 type Scheme int
@@ -83,17 +90,32 @@ func NewRouter(g *graph.Graph, pts []geom.Point) (*Router, error) {
 	return &Router{g: g, pts: pts}, nil
 }
 
-// Route routes one packet from s to t under the scheme.
+// Route routes one packet from s to t under the scheme. Out-of-range
+// endpoints yield an error wrapping ErrOutOfRange, never a zero Route.
 func (r *Router) Route(scheme Scheme, s, t int) (Route, error) {
+	if scheme == SchemeShortestPath {
+		srch := graph.AcquireSearcher(r.g.N())
+		defer graph.ReleaseSearcher(srch)
+		return r.RouteWith(srch, scheme, s, t)
+	}
+	return r.RouteWith(nil, scheme, s, t)
+}
+
+// RouteWith is Route with a caller-supplied Searcher. Only the
+// shortest-path scheme searches — the geographic schemes ignore srch, and
+// it may be nil for them. Concurrent callers that route many packets hand
+// the same Searcher to consecutive calls and skip the package-level pool
+// entirely.
+func (r *Router) RouteWith(srch *graph.Searcher, scheme Scheme, s, t int) (Route, error) {
 	if s < 0 || s >= r.g.N() || t < 0 || t >= r.g.N() {
-		return Route{}, fmt.Errorf("routing: endpoints (%d,%d) out of range", s, t)
+		return Route{}, fmt.Errorf("%w: endpoints (%d,%d), n=%d", ErrOutOfRange, s, t, r.g.N())
 	}
 	if s == t {
 		return Route{Delivered: true, Path: []int{s}}, nil
 	}
 	switch scheme {
 	case SchemeShortestPath:
-		return r.shortest(s, t), nil
+		return r.shortest(srch, s, t), nil
 	case SchemeGreedy:
 		return r.greedy(s, t), nil
 	case SchemeCompass:
@@ -104,9 +126,7 @@ func (r *Router) Route(scheme Scheme, s, t int) (Route, error) {
 }
 
 // shortest routes along an exact shortest path (Dijkstra with parents).
-func (r *Router) shortest(s, t int) Route {
-	srch := graph.AcquireSearcher(r.g.N())
-	defer graph.ReleaseSearcher(srch)
+func (r *Router) shortest(srch *graph.Searcher, s, t int) Route {
 	path, cost, ok := srch.PathTo(r.g, s, t, graph.Inf)
 	if !ok {
 		return Route{Delivered: false, Path: []int{s}}

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -235,5 +236,66 @@ func TestSchemeString(t *testing.T) {
 	if SchemeShortestPath.String() != "shortest-path" || SchemeGreedy.String() != "greedy" ||
 		SchemeCompass.String() != "compass" || Scheme(0).String() != "unknown" {
 		t.Error("scheme strings wrong")
+	}
+}
+
+func TestRouteOutOfRange(t *testing.T) {
+	g, pts := lineWorld()
+	r, err := NewRouter(g, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	cases := []struct {
+		name    string
+		s, d    int
+		wantErr bool
+	}{
+		{"negative src", -1, 1, true},
+		{"negative dst", 1, -1, true},
+		{"src == n", n, 1, true},
+		{"dst == n", 1, n, true},
+		{"src far out", n + 100, 0, true},
+		{"both out", -3, n + 3, true},
+		{"first vertex ok", 0, n - 1, false},
+		{"last vertex ok", n - 1, 0, false},
+		{"self route ok", 2, 2, false},
+	}
+	for _, scheme := range []Scheme{SchemeShortestPath, SchemeGreedy, SchemeCompass} {
+		for _, c := range cases {
+			route, err := r.Route(scheme, c.s, c.d)
+			if c.wantErr {
+				if !errors.Is(err, ErrOutOfRange) {
+					t.Errorf("%s/%s: err = %v, want ErrOutOfRange", scheme, c.name, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s/%s: unexpected error %v", scheme, c.name, err)
+			} else if len(route.Path) == 0 || route.Path[0] != c.s {
+				t.Errorf("%s/%s: route = %+v", scheme, c.name, route)
+			}
+		}
+	}
+	if _, err := r.Route(Scheme(99), 0, 1); err == nil || errors.Is(err, ErrOutOfRange) {
+		t.Errorf("unknown scheme: err = %v, want non-range error", err)
+	}
+}
+
+func TestRouteWithReusesSearcher(t *testing.T) {
+	g, pts := lineWorld()
+	r, err := NewRouter(g, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srch := graph.NewSearcher(g.N())
+	for i := 0; i < 3; i++ {
+		route, err := r.RouteWith(srch, SchemeShortestPath, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !route.Delivered || route.Cost != 3 {
+			t.Errorf("pass %d: route = %+v", i, route)
+		}
 	}
 }

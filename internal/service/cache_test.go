@@ -1,0 +1,81 @@
+package service
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"topoctl/internal/routing"
+)
+
+func key(src, dst int) routeKey {
+	return routeKey{scheme: routing.SchemeShortestPath, src: int32(src), dst: int32(dst)}
+}
+
+func val(cost float64) RouteResult {
+	return RouteResult{Route: routing.Route{Delivered: true, Cost: cost}}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var hits, misses atomic.Uint64
+	c := newRouteCache(0, &hits, &misses) // minimum capacity: 4 per shard
+
+	// Drive one shard directly so eviction order is observable regardless
+	// of how keys hash across shards.
+	s := &c.shards[0]
+	s.capacity = 2
+	k1, k2, k3 := key(1, 2), key(3, 4), key(5, 6)
+	s.put(k1, val(1))
+	s.put(k2, val(2))
+	s.get(k1)         // k1 now MRU, k2 LRU
+	s.put(k3, val(3)) // evicts k2
+	if _, ok := s.get(k2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if v, ok := s.get(k1); !ok || v.Route.Cost != 1 {
+		t.Fatalf("recently used entry evicted: %+v %v", v, ok)
+	}
+	if v, ok := s.get(k3); !ok || v.Route.Cost != 3 {
+		t.Fatalf("new entry missing: %+v %v", v, ok)
+	}
+	// Overwrite updates in place.
+	s.put(k3, val(33))
+	if v, _ := s.get(k3); v.Route.Cost != 33 {
+		t.Fatalf("overwrite lost: %+v", v)
+	}
+	if len(s.index) != 2 {
+		t.Fatalf("shard holds %d entries, capacity 2", len(s.index))
+	}
+	// More churn through the same two slots: keys must keep resolving.
+	for i := 0; i < 20; i++ {
+		s.put(key(10+i, 11+i), val(float64(i)))
+	}
+	if len(s.index) != 2 || len(s.entries) != 2 {
+		t.Fatalf("arena grew past capacity: %d keys, %d slots", len(s.index), len(s.entries))
+	}
+}
+
+func TestCacheGetPutAcrossShards(t *testing.T) {
+	var hits, misses atomic.Uint64
+	c := newRouteCache(256, &hits, &misses)
+	for i := 0; i < 200; i++ {
+		c.put(key(i, i+1), val(float64(i)))
+	}
+	found := 0
+	for i := 0; i < 200; i++ {
+		if v, ok := c.get(key(i, i+1)); ok {
+			found++
+			if v.Route.Cost != float64(i) {
+				t.Fatalf("key %d: cost %v", i, v.Route.Cost)
+			}
+		}
+	}
+	if found < 150 { // capacity 256 over 16 shards: most must survive
+		t.Fatalf("only %d/200 entries survived", found)
+	}
+	if hits.Load() != uint64(found) || misses.Load() != uint64(200-found) {
+		t.Fatalf("hits %d misses %d, want %d/%d", hits.Load(), misses.Load(), found, 200-found)
+	}
+	if c.len() != 200-(200-found) {
+		t.Fatalf("len = %d, want %d", c.len(), found)
+	}
+}

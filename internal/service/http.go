@@ -1,0 +1,205 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/routing"
+)
+
+// RouteRequest is the POST /route body.
+type RouteRequest struct {
+	// Scheme is "shortest-path" (default), "greedy", or "compass".
+	Scheme string `json:"scheme,omitempty"`
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+}
+
+// RouteResponse is the POST /route reply.
+type RouteResponse struct {
+	Delivered bool    `json:"delivered"`
+	Path      []int   `json:"path"`
+	Cost      float64 `json:"cost"`
+	Hops      int     `json:"hops"`
+	Stretch   float64 `json:"stretch,omitempty"`
+	Version   uint64  `json:"version"`
+	Cached    bool    `json:"cached"`
+}
+
+// NeighborsResponse is the GET /node/{id}/neighbors reply.
+type NeighborsResponse struct {
+	ID         int        `json:"id"`
+	Point      geom.Point `json:"point"`
+	Degree     int        `json:"degree"`
+	BaseDegree int        `json:"base_degree"`
+	Neighbors  []Neighbor `json:"neighbors"`
+	Version    uint64     `json:"version"`
+}
+
+// MutateRequest is the POST /mutate body.
+type MutateRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// ParseScheme maps the wire name of a forwarding scheme to its constant
+// ("" defaults to shortest-path).
+func ParseScheme(name string) (routing.Scheme, error) {
+	switch name {
+	case "", "shortest-path", "shortest":
+		return routing.SchemeShortestPath, nil
+	case "greedy":
+		return routing.SchemeGreedy, nil
+	case "compass":
+		return routing.SchemeCompass, nil
+	default:
+		return 0, fmt.Errorf("service: unknown scheme %q", name)
+	}
+}
+
+// Handler returns the HTTP surface of the service:
+//
+//	GET  /healthz                  liveness (200 once serving)
+//	GET  /stats                    topology + serving statistics
+//	GET  /node/{id}/neighbors      a node's spanner adjacency
+//	POST /route                    route one packet
+//	POST /mutate                   apply a mutation batch
+//
+// Every handler resolves the current snapshot exactly once, so each
+// response is consistent with a single topology version (reported as
+// "version" in the body).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /node/{id}/neighbors", s.handleNeighbors)
+	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("POST /mutate", s.handleMutate)
+	return mux
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": s.Snapshot().Version,
+	})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad node id: %w", err))
+		return
+	}
+	snap := s.Snapshot()
+	pt, nbrs, baseDeg, err := snap.Neighbors(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NeighborsResponse{
+		ID:         id,
+		Point:      pt,
+		Degree:     len(nbrs),
+		BaseDegree: baseDeg,
+		Neighbors:  nbrs,
+		Version:    snap.Version,
+	})
+}
+
+func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req RouteRequest
+	if err := decodeJSON(w, r, 1<<16, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scheme, err := ParseScheme(req.Scheme)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.Route(scheme, req.Src, req.Dst)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RouteResponse{
+		Delivered: res.Route.Delivered,
+		Path:      res.Route.Path,
+		Cost:      res.Route.Cost,
+		Hops:      res.Route.Hops(),
+		Stretch:   res.Stretch,
+		Version:   res.Version,
+		Cached:    res.Cached,
+	})
+}
+
+func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if err := decodeJSON(w, r, 8<<20, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("service: empty mutation batch"))
+		return
+	}
+	res, err := s.Mutate(req.Ops)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// statusFor maps service errors to HTTP statuses: unknown nodes are 404,
+// malformed requests 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownNode):
+		return http.StatusNotFound
+	case errors.Is(err, routing.ErrOutOfRange):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	// Marshal before touching the ResponseWriter so an unencodable value
+	// (the bug class: a NaN/Inf that slipped into a stats field) becomes a
+	// diagnosable 500, not a silent 200 with an empty body.
+	raw, err := json.Marshal(body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

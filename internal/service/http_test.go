@@ -1,0 +1,154 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func testServer(t *testing.T, n int) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := testService(t, n, Options{})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, dst any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int, dst any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	svc, ts := testServer(t, 72)
+
+	var health struct {
+		Status  string `json:"status"`
+		Version uint64 `json:"version"`
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &health)
+	if health.Status != "ok" || health.Version != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	var route RouteResponse
+	postJSON(t, ts.URL+"/route", RouteRequest{Src: 0, Dst: 9}, http.StatusOK, &route)
+	if !route.Delivered || len(route.Path) < 2 || route.Version != 1 {
+		t.Fatalf("route = %+v", route)
+	}
+	if route.Hops != len(route.Path)-1 {
+		t.Fatalf("hops %d vs path %v", route.Hops, route.Path)
+	}
+	// Same query again: served from cache.
+	postJSON(t, ts.URL+"/route", RouteRequest{Src: 0, Dst: 9}, http.StatusOK, &route)
+	if !route.Cached {
+		t.Fatalf("repeat route not cached: %+v", route)
+	}
+	// Scheme selection and validation.
+	postJSON(t, ts.URL+"/route", RouteRequest{Scheme: "greedy", Src: 0, Dst: 9}, http.StatusOK, &route)
+	postJSON(t, ts.URL+"/route", RouteRequest{Scheme: "warp", Src: 0, Dst: 9}, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/route", RouteRequest{Src: 0, Dst: 100000}, http.StatusNotFound, nil)
+
+	var nbrs NeighborsResponse
+	getJSON(t, ts.URL+"/node/5/neighbors", http.StatusOK, &nbrs)
+	if nbrs.ID != 5 || nbrs.Degree != len(nbrs.Neighbors) || len(nbrs.Point) != 2 {
+		t.Fatalf("neighbors = %+v", nbrs)
+	}
+	getJSON(t, ts.URL+"/node/99999/neighbors", http.StatusNotFound, nil)
+	getJSON(t, ts.URL+"/node/banana/neighbors", http.StatusBadRequest, nil)
+
+	var stats Stats
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &stats)
+	if stats.Nodes != 72 || stats.Version != 1 || stats.Routes == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// Mutate over the wire, observe the version bump and the departure.
+	var mres MutateResult
+	postJSON(t, ts.URL+"/mutate", MutateRequest{Ops: []Op{
+		{Kind: OpJoin, Point: []float64{stats.BBoxHi[0] / 2, stats.BBoxHi[1] / 2}},
+		{Kind: OpLeave, ID: 9},
+	}}, http.StatusOK, &mres)
+	if mres.Applied != 2 || mres.Version != 2 {
+		t.Fatalf("mutate = %+v", mres)
+	}
+	postJSON(t, ts.URL+"/route", RouteRequest{Src: 0, Dst: 9}, http.StatusNotFound, nil)
+	if svc.Snapshot().Version != 2 {
+		t.Fatalf("service version = %d", svc.Snapshot().Version)
+	}
+
+	// Malformed bodies are 400s, not 500s.
+	resp, err := http.Post(ts.URL+"/route", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	postJSON(t, ts.URL+"/mutate", MutateRequest{}, http.StatusBadRequest, nil)
+
+	// Wrong method on a defined path.
+	resp, err = http.Get(ts.URL + "/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /route: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRouteStretchWithinBound(t *testing.T) {
+	_, ts := testServer(t, 64)
+	for dst := 1; dst < 20; dst++ {
+		var route RouteResponse
+		postJSON(t, ts.URL+"/route", RouteRequest{Src: 0, Dst: dst}, http.StatusOK, &route)
+		if route.Delivered && route.Stretch > 1.5+1e-9 {
+			t.Fatalf("dst %d: stretch %v over the wire exceeds bound", dst, route.Stretch)
+		}
+	}
+	// Exercise the JSON round-trip of stats numbers.
+	var stats Stats
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &stats)
+	if stats.StretchEstimate < 1 {
+		t.Fatalf("stats stretch estimate = %v", stats.StretchEstimate)
+	}
+	_ = fmt.Sprintf("%+v", stats)
+}

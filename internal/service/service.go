@@ -1,0 +1,399 @@
+// Package service is the concurrent topology query layer: a long-lived
+// Service owns a dynamic.Engine (the churn-maintained t-spanner) and
+// serves route, neighborhood, and statistics queries against RCU-style
+// immutable snapshots while mutations stream in.
+//
+// The concurrency design is single-writer / wait-free readers:
+//
+//   - All mutations funnel through one writer goroutine that owns the
+//     engine outright. A mutation batch is applied under the engine's
+//     Begin/Commit coalescing, then the writer deep-copies the engine
+//     state (dynamic.Engine.Export) into a fresh Snapshot — graph, grid
+//     positions, router, and a brand-new LRU route cache — and publishes
+//     it with one atomic pointer store.
+//   - Readers load the current snapshot with an atomic pointer read and
+//     never take a lock shared with the writer. A reader holding an old
+//     snapshot keeps getting internally consistent answers from the
+//     version it loaded; the garbage collector retires old snapshots when
+//     the last reader drops them.
+//   - Because the route cache lives inside the snapshot, a topology swap
+//     invalidates the whole cache by construction — there is no
+//     invalidation protocol, and a cached route can never mix versions.
+//
+// The HTTP surface over this API lives in http.go; cmd/topoctld is the
+// daemon binary.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"topoctl/internal/dynamic"
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/routing"
+)
+
+// ErrUnknownNode reports a query or mutation naming a slot that holds no
+// live node (never joined, or departed).
+var ErrUnknownNode = errors.New("service: unknown or departed node")
+
+// ErrClosed reports an operation on a closed service.
+var ErrClosed = errors.New("service: closed")
+
+// Options configures a Service.
+type Options struct {
+	// T is the spanner stretch bound (> 1; default 1.5).
+	T float64
+	// Radius is the connectivity radius of the maintained base graph
+	// (default 1).
+	Radius float64
+	// Dim is the embedding dimension, needed only when the service starts
+	// with no nodes (default 2).
+	Dim int
+	// CacheSize bounds the per-snapshot route cache (default 8192 entries
+	// across all shards; <0 disables growth past the minimum).
+	CacheSize int
+	// Searchers sizes the shared searcher pool (default GOMAXPROCS).
+	Searchers int
+	// StretchSample bounds the base-edge sample behind the /stats live
+	// stretch estimate (default 256; the estimate is exact below it).
+	StretchSample int
+	// Seed drives the deterministic stretch-sample shuffle.
+	Seed int64
+}
+
+func (o *Options) normalize() {
+	if o.T == 0 {
+		o.T = 1.5
+	}
+	if o.Radius == 0 {
+		o.Radius = 1
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 8192
+	}
+	if o.Searchers <= 0 {
+		o.Searchers = runtime.GOMAXPROCS(0)
+	}
+	if o.StretchSample <= 0 {
+		o.StretchSample = 256
+	}
+}
+
+// Op is one topology mutation. Kind selects which fields matter: a join
+// needs Point, a leave needs ID, a move needs both.
+type Op struct {
+	Kind  string     `json:"op"` // "join" | "leave" | "move"
+	ID    int        `json:"id,omitempty"`
+	Point geom.Point `json:"point,omitempty"`
+}
+
+// Op kinds.
+const (
+	OpJoin  = "join"
+	OpLeave = "leave"
+	OpMove  = "move"
+)
+
+// OpResult reports one op of a mutation batch: the node id it concerned
+// (the assigned id, for joins) and the error, if it failed.
+type OpResult struct {
+	ID  int    `json:"id"`
+	Err string `json:"error,omitempty"`
+}
+
+// MutateResult reports an applied mutation batch.
+type MutateResult struct {
+	// Version is the topology version after the batch (unchanged when no
+	// op applied).
+	Version uint64 `json:"version"`
+	// Applied counts ops that succeeded; Results holds per-op outcomes in
+	// batch order.
+	Applied int        `json:"applied"`
+	Results []OpResult `json:"results"`
+}
+
+type mutateReq struct {
+	ops   []Op
+	reply chan *MutateResult
+}
+
+// counters are service-lifetime monotonic counters, updated with atomics
+// from reader goroutines and the writer.
+type counters struct {
+	routes     atomic.Uint64
+	delivered  atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	mutOps     atomic.Uint64
+	mutBatches atomic.Uint64
+}
+
+// Service serves topology queries over atomically swapped snapshots while
+// a single writer goroutine applies mutation batches. All exported methods
+// are safe for concurrent use.
+type Service struct {
+	opts      Options
+	snap      atomic.Pointer[Snapshot]
+	searchers chan *graph.Searcher
+	ctr       counters
+	start     time.Time
+
+	reqs      chan *mutateReq
+	stop      chan struct{}
+	writerRet chan struct{}
+	closeOnce sync.Once
+}
+
+// New starts a service over the given initial deployment (point set may be
+// empty, then Options.Dim applies). The initial spanner build is
+// synchronous; the returned service is immediately ready to serve.
+func New(points []geom.Point, opts Options) (*Service, error) {
+	opts.normalize()
+	// The deployment's own dimension always wins; Options.Dim only matters
+	// for a service that starts empty.
+	if len(points) > 0 {
+		opts.Dim = points[0].Dim()
+	} else if opts.Dim == 0 {
+		opts.Dim = 2
+	}
+	eng, err := dynamic.New(points, dynamic.Options{
+		T:      opts.T,
+		Radius: opts.Radius,
+		Dim:    opts.Dim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opts:      opts,
+		searchers: make(chan *graph.Searcher, opts.Searchers),
+		start:     time.Now(),
+		reqs:      make(chan *mutateReq),
+		stop:      make(chan struct{}),
+		writerRet: make(chan struct{}),
+	}
+	s.publish(eng)
+	go s.writer(eng)
+	return s, nil
+}
+
+// Close stops the writer goroutine. In-flight Mutate calls receive
+// ErrClosed; queries keep working against the last published snapshot.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		<-s.writerRet
+	})
+}
+
+// Snapshot returns the current topology snapshot. The returned value is
+// immutable and remains valid (and internally consistent) indefinitely;
+// hold it across related queries to get one-version semantics.
+func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Route answers one route query against the current snapshot. Use
+// Snapshot().Route directly when several queries must observe the same
+// version; both paths feed the same serving counters.
+func (s *Service) Route(scheme routing.Scheme, src, dst int) (RouteResult, error) {
+	return s.Snapshot().Route(scheme, src, dst)
+}
+
+// Mutate applies a batch of topology mutations through the writer
+// goroutine and returns once the resulting snapshot is published. Ops are
+// applied best-effort in order: a failed op (e.g. leave of a departed
+// node) is reported in its OpResult without aborting the batch.
+func (s *Service) Mutate(ops []Op) (*MutateResult, error) {
+	req := &mutateReq{ops: ops, reply: make(chan *MutateResult, 1)}
+	select {
+	case s.reqs <- req:
+		return <-req.reply, nil
+	case <-s.stop:
+		return nil, ErrClosed
+	}
+}
+
+// writer is the single goroutine that owns the engine after New returns.
+func (s *Service) writer(eng *dynamic.Engine) {
+	defer close(s.writerRet)
+	for {
+		select {
+		case req := <-s.reqs:
+			req.reply <- s.apply(eng, req.ops)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// apply runs one mutation batch against the engine and publishes the
+// successor snapshot. Multi-op batches go through Begin/Commit so the
+// engine coalesces repair into one pass.
+func (s *Service) apply(eng *dynamic.Engine, ops []Op) *MutateResult {
+	res := &MutateResult{Results: make([]OpResult, len(ops))}
+	if len(ops) > 1 {
+		eng.Begin()
+	}
+	for i, op := range ops {
+		r := &res.Results[i]
+		r.ID = op.ID
+		var err error
+		switch op.Kind {
+		case OpJoin:
+			r.ID, err = eng.Join(op.Point)
+		case OpLeave:
+			err = eng.Leave(op.ID)
+		case OpMove:
+			err = eng.Move(op.ID, op.Point)
+		default:
+			err = fmt.Errorf("service: unknown op %q", op.Kind)
+		}
+		if err != nil {
+			r.Err = err.Error()
+		} else {
+			res.Applied++
+		}
+	}
+	if len(ops) > 1 {
+		eng.Commit()
+	}
+	s.ctr.mutBatches.Add(1)
+	s.ctr.mutOps.Add(uint64(res.Applied))
+	if res.Applied == 0 {
+		res.Version = s.Snapshot().Version
+		return res
+	}
+	res.Version = s.publish(eng).Version
+	return res
+}
+
+// publish deep-copies the engine state into a fresh snapshot and swaps it
+// in. Called from New (before the writer starts) and then only from the
+// writer goroutine.
+func (s *Service) publish(eng *dynamic.Engine) *Snapshot {
+	points, alive, base, sp := eng.Export()
+	version := uint64(1)
+	if old := s.snap.Load(); old != nil {
+		version = old.Version + 1
+	}
+	// The router constructor only fails on a length mismatch, which Export
+	// rules out (slot-indexed points and graphs share capacity).
+	router, err := routing.NewRouter(sp, points)
+	if err != nil {
+		panic(err)
+	}
+	snap := &Snapshot{
+		Version:       version,
+		T:             s.opts.T,
+		Points:        points,
+		Alive:         alive,
+		Base:          base,
+		Spanner:       sp,
+		router:        router,
+		searchers:     s.searchers,
+		cache:         newRouteCache(s.opts.CacheSize, &s.ctr.cacheHits, &s.ctr.cacheMiss),
+		ctr:           &s.ctr,
+		live:          eng.N(),
+		weight:        sp.TotalWeight(),
+		maxDeg:        sp.MaxDegree(),
+		stretchSample: s.opts.StretchSample,
+		seed:          s.opts.Seed,
+	}
+	snap.bboxLo, snap.bboxHi = bbox(points, s.opts.Dim)
+	s.snap.Store(snap)
+	return snap
+}
+
+// bbox computes the axis-aligned bounding box of the live points (zeros
+// when the deployment is empty).
+func bbox(points []geom.Point, dim int) (lo, hi geom.Point) {
+	lo, hi = make(geom.Point, dim), make(geom.Point, dim)
+	first := true
+	for _, p := range points {
+		if p == nil {
+			continue
+		}
+		for i := 0; i < dim && i < len(p); i++ {
+			if first || p[i] < lo[i] {
+				lo[i] = p[i]
+			}
+			if first || p[i] > hi[i] {
+				hi[i] = p[i]
+			}
+		}
+		first = false
+	}
+	return lo, hi
+}
+
+// Stats is the service-level statistics document served at /stats.
+type Stats struct {
+	Version uint64 `json:"version"`
+	// Nodes is the live node count, Slots the allocated id space (route
+	// and neighbor queries accept ids in [0, Slots)).
+	Nodes int `json:"nodes"`
+	Slots int `json:"slots"`
+	// BaseEdges / SpannerEdges / SpannerWeight / MaxDegree describe the
+	// current topology.
+	BaseEdges     int     `json:"base_edges"`
+	SpannerEdges  int     `json:"spanner_edges"`
+	SpannerWeight float64 `json:"spanner_weight"`
+	MaxDegree     int     `json:"max_degree"`
+	// StretchBound is the configured t; StretchEstimate the worst stretch
+	// observed over a base-edge sample of this snapshot (exact when
+	// StretchExact; -1 when a sampled base edge had no spanner path at
+	// all, i.e. the spanner is disconnected).
+	StretchBound    float64 `json:"stretch_bound"`
+	StretchEstimate float64 `json:"stretch_estimate"`
+	StretchExact    bool    `json:"stretch_exact"`
+	// BBoxLo / BBoxHi bound the live deployment (load generators draw
+	// join/move targets inside this box).
+	BBoxLo geom.Point `json:"bbox_lo"`
+	BBoxHi geom.Point `json:"bbox_hi"`
+	// Serving counters (service lifetime).
+	Routes        uint64  `json:"routes"`
+	Delivered     uint64  `json:"delivered"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheEntries  int     `json:"cache_entries"`
+	MutationOps   uint64  `json:"mutation_ops"`
+	MutationBatch uint64  `json:"mutation_batches"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats assembles the statistics document for the current snapshot.
+func (s *Service) Stats() Stats {
+	snap := s.Snapshot()
+	est, exact := snap.StretchEstimate()
+	if math.IsInf(est, 1) {
+		est = -1 // JSON has no Inf; -1 flags a disconnected sampled edge
+	}
+	return Stats{
+		Version:         snap.Version,
+		Nodes:           snap.live,
+		Slots:           len(snap.Alive),
+		BaseEdges:       snap.Base.M(),
+		SpannerEdges:    snap.Spanner.M(),
+		SpannerWeight:   snap.weight,
+		MaxDegree:       snap.maxDeg,
+		StretchBound:    snap.T,
+		StretchEstimate: est,
+		StretchExact:    exact,
+		BBoxLo:          snap.bboxLo,
+		BBoxHi:          snap.bboxHi,
+		Routes:          s.ctr.routes.Load(),
+		Delivered:       s.ctr.delivered.Load(),
+		CacheHits:       s.ctr.cacheHits.Load(),
+		CacheMisses:     s.ctr.cacheMiss.Load(),
+		CacheEntries:    snap.cache.len(),
+		MutationOps:     s.ctr.mutOps.Load(),
+		MutationBatch:   s.ctr.mutBatches.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	}
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/routing"
+)
+
+// Snapshot is one immutable, internally consistent view of the topology:
+// slot-indexed node positions, the base connectivity graph, the maintained
+// t-spanner, a router over the spanner, a fresh LRU route cache, and a
+// reference to the service's searcher pool. Readers load the current
+// snapshot with a single atomic pointer read and then work entirely
+// against frozen state — a concurrent mutation batch swaps in a successor
+// snapshot but can never alter this one, so every answer a snapshot gives
+// is consistent with exactly one topology version (no torn reads by
+// construction).
+type Snapshot struct {
+	// Version increments with every applied mutation batch (1 = initial).
+	Version uint64
+	// T is the spanner stretch bound routes are served under.
+	T float64
+	// Points holds slot-indexed positions; nil for free (departed) slots.
+	Points []geom.Point
+	// Alive marks which slots hold live nodes.
+	Alive []bool
+	// Base is the connectivity graph (radius model) at this version.
+	Base *graph.Graph
+	// Spanner is the maintained t-spanner routes are forwarded on.
+	Spanner *graph.Graph
+
+	router    *routing.Router
+	searchers chan *graph.Searcher // shared with the service; see acquire
+	cache     *routeCache
+	ctr       *counters // service-lifetime counters, shared across snapshots
+
+	live   int
+	weight float64 // total spanner weight
+	maxDeg int     // max spanner degree
+	bboxLo geom.Point
+	bboxHi geom.Point
+
+	// The live stretch estimate is computed lazily on first demand (a
+	// /stats call), not on the swap path, and memoized for the snapshot's
+	// lifetime.
+	stretchOnce   sync.Once
+	stretchEst    float64
+	stretchExact  bool
+	stretchSample int
+	seed          int64
+}
+
+// RouteResult is one answered route query, stamped with the snapshot
+// version that produced it.
+type RouteResult struct {
+	Route routing.Route
+	// Stretch is route cost over the base-graph shortest-path cost on the
+	// same snapshot (1 for s==t; 0 when undelivered or base-disconnected).
+	Stretch float64
+	// Version is the topology version this result is valid against.
+	Version uint64
+	// Cached reports whether the result was served from the route cache.
+	Cached bool
+}
+
+// Route answers one route query against this frozen topology version.
+// src/dst must name live nodes (ErrUnknownNode otherwise). Results are
+// memoized in the snapshot's LRU cache keyed by (scheme, src, dst).
+func (s *Snapshot) Route(scheme routing.Scheme, src, dst int) (RouteResult, error) {
+	if err := s.checkNode(src); err != nil {
+		return RouteResult{}, err
+	}
+	if err := s.checkNode(dst); err != nil {
+		return RouteResult{}, err
+	}
+	s.ctr.routes.Add(1)
+	key := routeKey{scheme: scheme, src: int32(src), dst: int32(dst)}
+	if r, ok := s.cache.get(key); ok {
+		if r.Route.Delivered {
+			s.ctr.delivered.Add(1)
+		}
+		r.Cached = true
+		return r, nil
+	}
+	srch := s.acquire()
+	rt, err := s.router.RouteWith(srch, scheme, src, dst)
+	if err != nil {
+		s.release(srch)
+		return RouteResult{}, err
+	}
+	if rt.Delivered {
+		s.ctr.delivered.Add(1)
+	}
+	res := RouteResult{Route: rt, Version: s.Version}
+	if rt.Delivered {
+		if base, ok := srch.DijkstraTarget(s.Base, src, dst, graph.Inf); ok {
+			if base > 0 {
+				res.Stretch = rt.Cost / base
+			} else {
+				res.Stretch = 1 // s == t
+			}
+		}
+	}
+	s.release(srch)
+	s.cache.put(key, res)
+	return res, nil
+}
+
+// Neighbor is one spanner adjacency of a queried node.
+type Neighbor struct {
+	ID     int        `json:"id"`
+	Weight float64    `json:"weight"`
+	Point  geom.Point `json:"point"`
+}
+
+// Neighbors returns the live node's position and its spanner adjacencies
+// (plus its base-graph degree, to show how much the spanner thinned).
+func (s *Snapshot) Neighbors(id int) (geom.Point, []Neighbor, int, error) {
+	if err := s.checkNode(id); err != nil {
+		return nil, nil, 0, err
+	}
+	hs := s.Spanner.Neighbors(id)
+	out := make([]Neighbor, len(hs))
+	for i, h := range hs {
+		out[i] = Neighbor{ID: h.To, Weight: h.W, Point: s.Points[h.To]}
+	}
+	return s.Points[id], out, s.Base.Degree(id), nil
+}
+
+// Live returns the number of live nodes at this version.
+func (s *Snapshot) Live() int { return s.live }
+
+// StretchEstimate measures the worst observed stretch of the spanner over
+// a deterministic sample of base edges (exact when the base graph has at
+// most the configured sample size of edges). The first call on a snapshot
+// computes it; later calls return the memoized value. The second result
+// reports whether the value is exact.
+func (s *Snapshot) StretchEstimate() (float64, bool) {
+	s.stretchOnce.Do(func() {
+		edges := s.Base.EdgesUnordered()
+		s.stretchExact = len(edges) <= s.stretchSample
+		if !s.stretchExact {
+			rng := rand.New(rand.NewSource(s.seed + int64(s.Version)))
+			rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+			edges = edges[:s.stretchSample]
+		}
+		srch := s.acquire()
+		worst := 1.0
+		for _, e := range edges {
+			d, ok := srch.DijkstraTarget(s.Spanner, e.U, e.V, s.T*e.W)
+			if !ok {
+				// No path within the bound: measure the true detour.
+				d, ok = srch.DijkstraTarget(s.Spanner, e.U, e.V, graph.Inf)
+				if !ok {
+					d = graph.Inf
+				}
+			}
+			if r := d / e.W; r > worst {
+				worst = r
+			}
+		}
+		s.release(srch)
+		s.stretchEst = worst
+	})
+	return s.stretchEst, s.stretchExact
+}
+
+// checkNode validates that id names a live node in this snapshot.
+func (s *Snapshot) checkNode(id int) error {
+	if id < 0 || id >= len(s.Alive) || !s.Alive[id] {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return nil
+}
+
+// acquire takes a Searcher from the service-wide pool, falling back to a
+// fresh one when all pooled searchers are in flight. The pool is a
+// buffered channel sized to the CPU count: under steady load each P keeps
+// reusing the same warmed scratch arrays, and because Searchers carry no
+// graph state they migrate freely across snapshot generations.
+func (s *Snapshot) acquire() *graph.Searcher {
+	select {
+	case srch := <-s.searchers:
+		return srch
+	default:
+		return graph.NewSearcher(len(s.Alive))
+	}
+}
+
+// release returns a Searcher to the pool, dropping it when the pool is
+// already full.
+func (s *Snapshot) release(srch *graph.Searcher) {
+	select {
+	case s.searchers <- srch:
+	default:
+	}
+}
