@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-json serve-smoke ci
+.PHONY: all build check vet fmt test race bench bench-json bench-save bench-compare serve-smoke ci
 
 all: check
 
@@ -43,6 +43,34 @@ bench:
 # @-silenced so stdout is pure JSON.
 bench-json:
 	@$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x -json $(BENCH_PKGS)
+
+# Old-vs-new benchmark workflow (see README "Comparing benchmarks across
+# changes"): `make bench-save` on the baseline tree writes $(BENCH_OLD);
+# `make bench-compare` on the changed tree writes $(BENCH_NEW) and runs
+# benchstat over the pair. BENCH_COUNT samples per side give benchstat
+# enough runs for its significance test.
+BENCH_OLD ?= bench.old.txt
+BENCH_NEW ?= bench.new.txt
+BENCH_COUNT ?= 5
+# The runs write to a temp file first: a failed bench run (compile error,
+# b.Fatal) must fail the target and must not clobber a good baseline —
+# piping through tee would swallow go test's exit status under plain sh.
+bench-save:
+	@$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > $(BENCH_OLD).tmp || \
+		{ cat $(BENCH_OLD).tmp; rm -f $(BENCH_OLD).tmp; echo "bench-save failed; $(BENCH_OLD) left untouched"; exit 1; }
+	@mv $(BENCH_OLD).tmp $(BENCH_OLD)
+	@cat $(BENCH_OLD)
+bench-compare:
+	@$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) > $(BENCH_NEW).tmp || \
+		{ cat $(BENCH_NEW).tmp; rm -f $(BENCH_NEW).tmp; echo "bench-compare failed; $(BENCH_NEW) left untouched"; exit 1; }
+	@mv $(BENCH_NEW).tmp $(BENCH_NEW)
+	@cat $(BENCH_NEW)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_OLD) $(BENCH_NEW); \
+	else \
+		echo "benchstat not found: wrote $(BENCH_OLD) / $(BENCH_NEW);"; \
+		echo "install it with: go install golang.org/x/perf/cmd/benchstat@latest"; \
+	fi
 
 # End-to-end smoke of the topology daemon: boot it on SMOKE_ADDR, poll
 # /healthz until live, route one packet, read /stats, and shut it down.

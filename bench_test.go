@@ -242,6 +242,55 @@ func BenchmarkChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnExport measures the commit+export cycle the serving layer
+// runs per mutation batch on n=512: one committed Move followed by a
+// snapshot publish. The full variant deep-copies both graphs and every
+// point (the pre-frozen Export path, kept as the reference); the frozen
+// variant delta-rebuilds only the adjacency rows the repair touched and
+// shares everything else with the previous snapshot, which is what drops
+// the per-commit allocation count by orders of magnitude.
+func BenchmarkChurnExport(b *testing.B) {
+	const n, t = 512, 1.5
+	side := ubg.DensitySide(n, 2, 1, 8)
+	pts := geom.GeneratePoints(geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Side: side, Seed: 1})
+
+	run := func(b *testing.B, export func(eng *dynamic.Engine) int) {
+		eng, err := dynamic.New(pts, dynamic.Options{T: t})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		ids := eng.IDs(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := ids[rng.Intn(len(ids))]
+			p := eng.Point(id).Clone()
+			p[0] += rng.NormFloat64() * 0.1
+			p[1] += rng.NormFloat64() * 0.1
+			if err := eng.Move(id, p); err != nil {
+				b.Fatal(err)
+			}
+			if export(eng) == 0 {
+				b.Fatal("empty export")
+			}
+		}
+	}
+
+	b.Run("full", func(b *testing.B) {
+		run(b, func(eng *dynamic.Engine) int {
+			_, _, base, sp := eng.Export()
+			return base.N() + sp.M()
+		})
+	})
+	b.Run("frozen", func(b *testing.B) {
+		run(b, func(eng *dynamic.Engine) int {
+			_, _, base, sp := eng.ExportFrozen()
+			return base.N() + sp.M()
+		})
+	})
+}
+
 // BenchmarkNetIORoundTrip measures instance serialization.
 func BenchmarkNetIORoundTrip(b *testing.B) {
 	inst := benchInstance(b, 512)

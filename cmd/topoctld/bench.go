@@ -72,12 +72,18 @@ func cmdBench(args []string) error {
 	return runBench(bf, base)
 }
 
-// benchStats is the subset of /stats the generator needs.
+// benchStats is the subset of /stats the generator needs: deployment shape
+// up front, server-side cache counters before/after the window so the
+// summary can report the cache behaviour this run induced (the server
+// counters are lifetime aggregates; the delta isolates this window).
 type benchStats struct {
-	Nodes  int       `json:"nodes"`
-	Slots  int       `json:"slots"`
-	BBoxLo []float64 `json:"bbox_lo"`
-	BBoxHi []float64 `json:"bbox_hi"`
+	Nodes          int       `json:"nodes"`
+	Slots          int       `json:"slots"`
+	BBoxLo         []float64 `json:"bbox_lo"`
+	BBoxHi         []float64 `json:"bbox_hi"`
+	CacheHits      uint64    `json:"cache_hits"`
+	CacheMisses    uint64    `json:"cache_misses"`
+	CacheEvictions uint64    `json:"cache_evictions"`
 }
 
 func runBench(bf *benchFlags, base string) error {
@@ -218,6 +224,16 @@ func runBench(bf *benchFlags, base string) error {
 		delivered.Load(), 100*float64(delivered.Load())/float64(total),
 		cached.Load(), 100*float64(cached.Load())/float64(total),
 		rejected.Load(), failures.Load())
+	var end benchStats
+	if err := getStats(client, base, &end); err == nil {
+		hits, misses := end.CacheHits-st.CacheHits, end.CacheMisses-st.CacheMisses
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = 100 * float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("cache     server-side: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+			hits, misses, ratio, end.CacheEvictions-st.CacheEvictions)
+	}
 	if bf.mutate > 0 {
 		fmt.Printf("churn     %d mutation ops applied during the window\n", mutations.Load())
 	}

@@ -83,7 +83,7 @@ type Options struct {
 // Build constructs the requested baseline topology over the α-UBG g
 // embedded at points. Edge weights of the result are copied from g
 // (Euclidean lengths).
-func Build(kind Kind, points []geom.Point, g *graph.Graph, opts Options) (*graph.Graph, error) {
+func Build(kind Kind, points []geom.Point, g graph.Topology, opts Options) (*graph.Graph, error) {
 	if opts.Theta <= 0 {
 		opts.Theta = 1.0471975511965976 // π/3
 	}
@@ -92,7 +92,7 @@ func Build(kind Kind, points []geom.Point, g *graph.Graph, opts Options) (*graph
 	}
 	switch kind {
 	case KindMST:
-		return graph.FromEdges(g.N(), g.MST()), nil
+		return graph.FromEdges(g.N(), graph.MSTOf(g)), nil
 	case KindYao:
 		return Yao(points, g, opts.Theta), nil
 	case KindGabriel:
@@ -114,7 +114,7 @@ func Build(kind Kind, points []geom.Point, g *graph.Graph, opts Options) (*graph
 // every cone of a theta-partition, the shortest incident g-edge whose
 // direction falls in the cone is kept. The union over directions makes the
 // result symmetric.
-func Yao(points []geom.Point, g *graph.Graph, theta float64) *graph.Graph {
+func Yao(points []geom.Point, g graph.Topology, theta float64) *graph.Graph {
 	if g.N() == 0 {
 		return graph.New(0)
 	}
@@ -148,7 +148,7 @@ func Yao(points []geom.Point, g *graph.Graph, theta float64) *graph.Graph {
 // exhaustive on an α-UBG whenever |uv| <= α (every witness inside the
 // diameter ball is within |uv| of both endpoints); for grey-zone edges the
 // restriction can only keep extra edges, never drop a valid one.
-func Gabriel(points []geom.Point, g *graph.Graph) *graph.Graph {
+func Gabriel(points []geom.Point, g graph.Topology) *graph.Graph {
 	out := graph.New(g.N())
 	for _, e := range g.EdgesUnordered() {
 		mid := geom.Midpoint(points[e.U], points[e.V])
@@ -160,7 +160,7 @@ func Gabriel(points []geom.Point, g *graph.Graph) *graph.Graph {
 	return out
 }
 
-func hasWitnessInBall(points []geom.Point, g *graph.Graph, u, v int, center geom.Point, r float64) bool {
+func hasWitnessInBall(points []geom.Point, g graph.Topology, u, v int, center geom.Point, r float64) bool {
 	const eps = 1e-12
 	check := func(w int) bool {
 		return w != u && w != v && geom.Dist(points[w], center) < r-eps
@@ -182,7 +182,7 @@ func hasWitnessInBall(points []geom.Point, g *graph.Graph, u, v int, center geom
 // {u,v} survives iff no witness w (again drawn from the neighbors of u and
 // v, exhaustive by the lune geometry on an α-UBG) satisfies
 // max(|uw|, |wv|) < |uv|.
-func RNG(points []geom.Point, g *graph.Graph) *graph.Graph {
+func RNG(points []geom.Point, g graph.Topology) *graph.Graph {
 	const eps = 1e-12
 	out := graph.New(g.N())
 	for _, e := range g.EdgesUnordered() {
@@ -220,7 +220,7 @@ func RNG(points []geom.Point, g *graph.Graph) *graph.Graph {
 // its neighbors by (weight, id); u keeps its link to v unless some w exists
 // that is better-ranked than v at BOTH u and v. The construction is
 // symmetric by design and preserves connectivity of the input.
-func XTC(g *graph.Graph) *graph.Graph {
+func XTC(g graph.Topology) *graph.Graph {
 	n := g.N()
 	// rank[u][w] = position of w in u's order; absent = not a neighbor.
 	rank := make([]map[int]int, n)
@@ -266,7 +266,7 @@ func XTC(g *graph.Graph) *graph.Graph {
 // LMST implements the symmetric local MST: node u computes the MST of the
 // subgraph induced by its closed neighborhood N[u] and nominates its tree
 // neighbors; edge {u,v} survives iff each endpoint nominates the other.
-func LMST(g *graph.Graph) *graph.Graph {
+func LMST(g graph.Topology) *graph.Graph {
 	n := g.N()
 	nominates := make([]map[int]bool, n)
 	for u := 0; u < n; u++ {
@@ -283,7 +283,7 @@ func LMST(g *graph.Graph) *graph.Graph {
 
 // localMSTNeighbors returns the set of MST-neighbors of u in the subgraph
 // induced by u's closed neighborhood.
-func localMSTNeighbors(g *graph.Graph, u int) map[int]bool {
+func localMSTNeighbors(g graph.Topology, u int) map[int]bool {
 	members := []int{u}
 	for _, h := range g.Neighbors(u) {
 		members = append(members, h.To)

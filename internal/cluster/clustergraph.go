@@ -44,7 +44,7 @@ type ClusterGraph struct {
 // edges heavier than rescueBound can never participate in a query answer
 // (queries are bounded by t·W_i), so omitting them is sound and keeps the
 // construction local. Pass rescueBound <= 0 to disable the cap.
-func BuildClusterGraph(gp *graph.Graph, cov *Cover, w, crossBound, rescueBound float64) *ClusterGraph {
+func BuildClusterGraph(gp graph.Topology, cov *Cover, w, crossBound, rescueBound float64) *ClusterGraph {
 	n := gp.N()
 	cg := &ClusterGraph{H: graph.New(n), Cover: cov, W: w}
 

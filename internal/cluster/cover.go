@@ -59,7 +59,7 @@ func (c *Cover) finalize() {
 // shortest-path distance radius of u. Centers are pairwise more than radius
 // apart because a later center was, by construction, not claimed by any
 // earlier one.
-func GreedyCover(g *graph.Graph, radius float64) *Cover {
+func GreedyCover(g graph.Topology, radius float64) *Cover {
 	n := g.N()
 	c := &Cover{Radius: radius, Center: make([]int, n), Dist: make([]float64, n)}
 	for i := range c.Center {
@@ -87,7 +87,7 @@ func GreedyCover(g *graph.Graph, radius float64) *Cover {
 // (matching the paper's distributed attachment rule, §3.2.1). It returns an
 // error if some vertex is not within radius of any center — i.e. the center
 // set is not dominating at this radius.
-func CoverFromCenters(g *graph.Graph, radius float64, centers []int) (*Cover, error) {
+func CoverFromCenters(g graph.Topology, radius float64, centers []int) (*Cover, error) {
 	n := g.N()
 	c := &Cover{Radius: radius, Center: make([]int, n), Dist: make([]float64, n)}
 	for i := range c.Center {
@@ -122,7 +122,7 @@ func CoverFromCenters(g *graph.Graph, radius float64, centers []int) (*Cover, er
 // violations (empty means the cover is valid): every vertex covered, all
 // member distances within radius and consistent with shortest paths, and
 // centers pairwise more than radius apart.
-func (c *Cover) Check(g *graph.Graph) []string {
+func (c *Cover) Check(g graph.Topology) []string {
 	var out []string
 	const eps = 1e-9
 	for v, ctr := range c.Center {
@@ -134,8 +134,13 @@ func (c *Cover) Check(g *graph.Graph) []string {
 			out = append(out, fmt.Sprintf("vertex %d at distance %v > radius %v", v, c.Dist[v], c.Radius))
 		}
 	}
+	s := graph.AcquireSearcher(g.N())
+	defer graph.ReleaseSearcher(s)
 	for _, ctr := range c.Centers {
-		ball := g.DijkstraBounded(ctr, c.Radius)
+		ball := make(map[int]float64)
+		for _, vd := range s.Ball(g, ctr, c.Radius) {
+			ball[vd.V] = vd.D
+		}
 		for _, other := range c.Centers {
 			if other == ctr {
 				continue

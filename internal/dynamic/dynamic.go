@@ -118,6 +118,18 @@ type Engine struct {
 	batch   bool
 	stats   Stats
 
+	// Delta-export state (ExportFrozen): the last published frozen
+	// snapshots, the vertices whose adjacency rows changed since then, and
+	// whether anything at all changed. expPoints/expAlive cache the last
+	// published slot metadata so a no-op export returns identical values.
+	touched      map[int]struct{}
+	touchScratch []int
+	expBase      *graph.Frozen
+	expSp        *graph.Frozen
+	expPoints    []geom.Point
+	expAlive     []bool
+	exportClean  bool
+
 	maxW float64 // metric weight of a maximum-length base edge
 }
 
@@ -143,16 +155,17 @@ func New(points []geom.Point, opts Options) (*Engine, error) {
 		cap = 4
 	}
 	e := &Engine{
-		opts:   opts,
-		dim:    dim,
-		points: make([]geom.Point, cap),
-		alive:  make([]bool, cap),
-		grid:   geom.NewDynamicGrid(opts.Radius),
-		base:   graph.New(cap),
-		sp:     graph.New(cap),
-		s:      graph.NewSearcher(cap),
-		dirty:  make(map[int]struct{}),
-		maxW:   opts.Metric.Weight(opts.Radius),
+		opts:    opts,
+		dim:     dim,
+		points:  make([]geom.Point, cap),
+		alive:   make([]bool, cap),
+		grid:    geom.NewDynamicGrid(opts.Radius),
+		base:    graph.New(cap),
+		sp:      graph.New(cap),
+		s:       graph.NewSearcher(cap),
+		dirty:   make(map[int]struct{}),
+		touched: make(map[int]struct{}),
+		maxW:    opts.Metric.Weight(opts.Radius),
 	}
 	for id := cap - 1; id >= len(points); id-- {
 		e.free = append(e.free, id)
@@ -185,6 +198,8 @@ func (e *Engine) addBaseEdges(id int) {
 	for _, v := range e.nbrs {
 		if !e.base.HasEdge(id, v) {
 			e.base.AddEdge(id, v, geom.Dist(e.points[id], e.points[v]))
+			e.touch(id)
+			e.touch(v)
 		}
 	}
 }
@@ -230,8 +245,10 @@ func (e *Engine) Stats() Stats { return e.stats }
 // (nil for free slots), the alive mask, and the base graph and spanner
 // (free slots are isolated vertices). The copies share no memory with the
 // engine, so callers may publish them to concurrent readers while the
-// engine keeps mutating — this is what the serving layer's snapshot swap
-// is built on.
+// engine keeps mutating. The serving layer publishes through the cheaper
+// delta-aware ExportFrozen instead; Export remains for callers that need
+// mutable copies, and as the full-copy reference the frozen differential
+// tests pin ExportFrozen against.
 func (e *Engine) Export() (points []geom.Point, alive []bool, base, sp *graph.Graph) {
 	points = make([]geom.Point, len(e.points))
 	for id, p := range e.points {
@@ -241,6 +258,41 @@ func (e *Engine) Export() (points []geom.Point, alive []bool, base, sp *graph.Gr
 	}
 	alive = append([]bool(nil), e.alive...)
 	return points, alive, e.base.Clone(), e.sp.Clone()
+}
+
+// ExportFrozen publishes the engine's current state as immutable frozen
+// (CSR) snapshots, rebuilding only what changed since the previous call:
+// adjacency rows untouched since the last export alias the prior
+// snapshot's storage, touched rows are re-frozen, and the slot metadata
+// slices are fresh copies. The cost — time and, more importantly,
+// allocations — is proportional to the repair the engine actually
+// performed, not to n+m, which is what keeps snapshot-per-commit
+// publishing cheap under churn (Export, by contrast, deep-copies
+// everything on every call).
+//
+// When nothing changed since the previous ExportFrozen, the exact same
+// four values are returned (pointer-identical graphs and slices): a commit
+// with zero net effect publishes the prior snapshot unchanged.
+//
+// The returned points alias the engine's per-slot Point values. That is
+// safe to publish because the engine never mutates a Point in place — Join
+// and Move install fresh clones — but callers must treat them as
+// read-only, like everything else returned here.
+func (e *Engine) ExportFrozen() (points []geom.Point, alive []bool, base, sp *graph.Frozen) {
+	if e.exportClean && e.expBase != nil {
+		return e.expPoints, e.expAlive, e.expBase, e.expSp
+	}
+	e.touchScratch = e.touchScratch[:0]
+	for v := range e.touched {
+		e.touchScratch = append(e.touchScratch, v)
+	}
+	e.expBase = graph.UpdateFrozen(e.expBase, e.base, e.touchScratch)
+	e.expSp = graph.UpdateFrozen(e.expSp, e.sp, e.touchScratch)
+	e.expPoints = append([]geom.Point(nil), e.points...)
+	e.expAlive = append([]bool(nil), e.alive...)
+	clear(e.touched)
+	e.exportClean = true
+	return e.expPoints, e.expAlive, e.expBase, e.expSp
 }
 
 // Options returns the normalized engine options.
@@ -275,6 +327,7 @@ func (e *Engine) Join(p geom.Point) (int, error) {
 	// A join breaks no existing certificate (nothing is removed); only the
 	// new node's own base edges need acceptance.
 	e.markDirty(id)
+	e.exportClean = false
 	e.stats.Joins++
 	e.afterOp()
 	return id, nil
@@ -291,6 +344,7 @@ func (e *Engine) Leave(id int) error {
 	e.alive[id] = false
 	e.n--
 	e.free = append(e.free, id)
+	e.exportClean = false
 	e.stats.Leaves++
 	e.afterOp()
 	return nil
@@ -309,6 +363,7 @@ func (e *Engine) Move(id int, p geom.Point) error {
 	e.grid.Move(id, e.points[id])
 	e.addBaseEdges(id)
 	e.markDirty(id)
+	e.exportClean = false
 	e.stats.Moves++
 	e.afterOp()
 	return nil
@@ -347,6 +402,10 @@ func (e *Engine) dropIncident(g *graph.Graph, id int) int {
 	}
 	for _, v := range e.targets {
 		g.RemoveEdge(id, v)
+		e.touch(v)
+	}
+	if len(e.targets) > 0 {
+		e.touch(id)
 	}
 	return len(e.targets)
 }
@@ -369,6 +428,17 @@ func (e *Engine) alloc() int {
 		e.free = append(e.free, id)
 	}
 	return old
+}
+
+// touch records that v's adjacency row (in the base graph, the spanner, or
+// both) changed since the last ExportFrozen. Rows never touched between two
+// exports are shared, not rebuilt, by the delta export. Any touch also
+// invalidates the cached export directly — the ops set exportClean too, but
+// repair inside Commit mutates the spanner after the op returns, and an
+// export taken mid-batch must not be republished over those edges.
+func (e *Engine) touch(v int) {
+	e.touched[v] = struct{}{}
+	e.exportClean = false
 }
 
 func (e *Engine) markDirty(v int) {
@@ -410,6 +480,8 @@ func (e *Engine) repair() {
 	for _, ed := range cands {
 		if greedy.Accept(e.s, e.sp, ed, e.opts.T) {
 			e.sp.AddEdge(ed.U, ed.V, ed.W)
+			e.touch(ed.U)
+			e.touch(ed.V)
 			e.stats.EdgesAdded++
 		}
 	}

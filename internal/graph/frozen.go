@@ -1,0 +1,305 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology is the narrow read-only view of an undirected weighted graph
+// that every query-side consumer in the repository runs on: searches
+// (Searcher), routing, metrics verification, cluster construction, and the
+// baseline structures. Both the mutable *Graph (the builders' working
+// representation) and the immutable *Frozen (the serving representation)
+// implement it, so algorithms written against Topology work unchanged on
+// either side of the freeze boundary.
+//
+// Implementations must be safe for concurrent readers as long as no writer
+// mutates them; *Frozen is immutable and therefore always safe.
+type Topology interface {
+	// N returns the number of vertices.
+	N() int
+	// M returns the number of undirected edges.
+	M() int
+	// Degree returns the degree of u.
+	Degree(u int) int
+	// Neighbors returns the adjacency list of u. The returned slice is
+	// owned by the topology and must not be modified.
+	Neighbors(u int) []Halfedge
+	// HasEdge reports whether the undirected edge {u, v} exists.
+	HasEdge(u, v int) bool
+	// EdgeWeight returns the weight of edge {u, v} and whether it exists.
+	EdgeWeight(u, v int) (float64, bool)
+	// EdgesUnordered returns all undirected edges in canonical (U < V)
+	// form, in adjacency order.
+	EdgesUnordered() []Edge
+	// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+	MaxDegree() int
+	// TotalWeight returns the sum of all edge weights.
+	TotalWeight() float64
+}
+
+// Compile-time interface checks: the mutable and frozen representations
+// must stay interchangeable on the read path.
+var (
+	_ Topology = (*Graph)(nil)
+	_ Topology = (*Frozen)(nil)
+)
+
+// rowSpan locates one vertex's adjacency row inside a Frozen's halfedge
+// slab. Offsets are explicit (rather than a prefix sum) so a delta rebuild
+// can leave unchanged rows pointing at their old slab positions while new
+// rows are appended at the end — the structural sharing that makes
+// snapshot-per-commit affordable under churn.
+type rowSpan struct{ off, deg int32 }
+
+// Frozen is an immutable compressed-sparse-row graph: a flat offset table
+// (rows) into one flat halfedge slab, plus cached aggregates (M,
+// TotalWeight, MaxDegree). It is the serving-side counterpart of Graph:
+// builders mutate a Graph and call Freeze at the boundary; every read-only
+// consumer then runs on the Frozen through the Topology interface.
+//
+// Compared to Graph's [][]Halfedge, a Frozen has no per-vertex slice
+// headers to chase and its rows are contiguous after a full Freeze, so
+// searches walk memory linearly; and because it is immutable it may be
+// shared across any number of concurrent readers without synchronization.
+//
+// Successive Frozens produced by UpdateFrozen share their halfedge slab:
+// only rows whose adjacency actually changed are appended to the slab, and
+// everything else aliases the previous snapshot's storage. The slab is
+// append-only, so older snapshots remain valid while newer ones grow it.
+type Frozen struct {
+	rows   []rowSpan
+	slab   []Halfedge
+	m      int
+	weight float64
+	maxDeg int
+}
+
+// Freeze builds a Frozen copy of g with a fresh, exactly-sized, contiguous
+// slab. The result shares no memory with g.
+func Freeze(g *Graph) *Frozen {
+	f := &Frozen{
+		rows: make([]rowSpan, g.n),
+		slab: make([]Halfedge, 0, 2*g.m),
+		m:    g.m,
+	}
+	for u, hs := range g.adj {
+		f.rows[u] = rowSpan{off: int32(len(f.slab)), deg: int32(len(hs))}
+		f.slab = append(f.slab, hs...)
+		if len(hs) > f.maxDeg {
+			f.maxDeg = len(hs)
+		}
+		for _, h := range hs {
+			if u < h.To {
+				f.weight += h.W
+			}
+		}
+	}
+	return f
+}
+
+// UpdateFrozen rebuilds only the touched rows of prev against g and
+// returns the resulting snapshot. touched must contain every vertex whose
+// adjacency changed since prev was taken (both endpoints of every added or
+// removed edge qualify — the Graph mutators rewrite both rows); extra
+// entries, duplicates, and out-of-range ids are harmless. Unchanged rows
+// keep their spans into the shared slab; rows whose adjacency really
+// differs are appended to it. The cost is O(n) for the span table plus
+// O(Σ deg) over the touched rows — independent of the untouched part of
+// the edge set — and the allocation count is O(1) regardless of graph
+// size.
+//
+// If no touched row actually changed (and the vertex count is unchanged),
+// prev itself is returned, so a churn batch with zero net effect publishes
+// the prior snapshot by pointer identity.
+//
+// The cached total weight is maintained from the dirty-row delta, so it
+// can drift from the exact sum by accumulated floating-point error across
+// a long update chain; slab compaction (a full Freeze, triggered when
+// appended garbage exceeds twice the live edge set) recomputes it exactly.
+//
+// prev == nil falls back to a full Freeze. Updates must form a linear
+// chain: prev must be the newest snapshot derived from this slab, because
+// two updates forked from the same prev would append rows into the same
+// slab positions. (Snapshot-per-commit publishing, with one writer owning
+// the chain, is exactly this shape; readers of any older snapshot are
+// unaffected since their rows are never overwritten.)
+func UpdateFrozen(prev *Frozen, g *Graph, touched []int) *Frozen {
+	if prev == nil {
+		return Freeze(g)
+	}
+	// Detect whether anything actually changed before allocating: a row is
+	// dirty iff its current adjacency differs element-for-element from the
+	// frozen one. Mutators rewrite rows in place, so an untouched row
+	// always compares equal.
+	anyDirty := g.n != len(prev.rows)
+	if !anyDirty {
+		for _, u := range touched {
+			if u < 0 || u >= g.n {
+				continue
+			}
+			if !prev.rowEqual(u, g.adj[u]) {
+				anyDirty = true
+				break
+			}
+		}
+	}
+	if !anyDirty {
+		return prev
+	}
+	live := 2 * g.m
+	if len(prev.slab) > 3*live+64 || len(prev.slab) > math.MaxInt32/2 {
+		return Freeze(g) // compact: too much appended garbage in the slab
+	}
+	f := &Frozen{
+		rows: make([]rowSpan, g.n),
+		slab: prev.slab,
+		m:    g.m,
+	}
+	copy(f.rows, prev.rows) // rows beyond len(prev.rows) start empty
+	// Every changed edge dirties both endpoint rows, and an unchanged edge
+	// incident to a dirty row contributes identically to the old and new
+	// sums, so half the dirty-row weight delta is exactly the edge-weight
+	// delta.
+	var sumOld, sumNew float64
+	for _, u := range touched {
+		if u < 0 || u >= g.n {
+			continue
+		}
+		row := g.adj[u]
+		if f.rowEqual(u, row) {
+			continue // unchanged, or a duplicate touched entry already rebuilt
+		}
+		if u < len(prev.rows) {
+			for _, h := range prev.row(u) {
+				sumOld += h.W
+			}
+		}
+		for _, h := range row {
+			sumNew += h.W
+		}
+		f.rows[u] = rowSpan{off: int32(len(f.slab)), deg: int32(len(row))}
+		f.slab = append(f.slab, row...)
+	}
+	f.weight = prev.weight + (sumNew-sumOld)/2
+	for _, r := range f.rows {
+		if int(r.deg) > f.maxDeg {
+			f.maxDeg = int(r.deg)
+		}
+	}
+	return f
+}
+
+// rowEqual reports whether u's frozen row (empty when u is beyond the
+// frozen vertex count) matches hs element-for-element.
+func (f *Frozen) rowEqual(u int, hs []Halfedge) bool {
+	var old []Halfedge
+	if u < len(f.rows) {
+		old = f.row(u)
+	}
+	if len(old) != len(hs) {
+		return false
+	}
+	for i, h := range hs {
+		if old[i] != h {
+			return false
+		}
+	}
+	return true
+}
+
+// row returns u's adjacency without the defensive capacity clamp.
+func (f *Frozen) row(u int) []Halfedge {
+	r := f.rows[u]
+	return f.slab[r.off : r.off+r.deg]
+}
+
+// N returns the number of vertices.
+func (f *Frozen) N() int { return len(f.rows) }
+
+// M returns the number of undirected edges.
+func (f *Frozen) M() int { return f.m }
+
+// Degree returns the degree of u.
+func (f *Frozen) Degree(u int) int {
+	f.check(u)
+	return int(f.rows[u].deg)
+}
+
+// Neighbors returns the adjacency row of u. The slice aliases the frozen
+// slab with capacity clamped to its length, so callers cannot grow into
+// (or overwrite) neighboring rows.
+func (f *Frozen) Neighbors(u int) []Halfedge {
+	f.check(u)
+	r := f.rows[u]
+	return f.slab[r.off : r.off+r.deg : r.off+r.deg]
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (f *Frozen) HasEdge(u, v int) bool {
+	_, ok := f.EdgeWeight(u, v)
+	return ok
+}
+
+// EdgeWeight returns the weight of edge {u, v} and whether it exists.
+func (f *Frozen) EdgeWeight(u, v int) (float64, bool) {
+	n := len(f.rows)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return 0, false
+	}
+	// Scan the smaller row.
+	if f.rows[u].deg > f.rows[v].deg {
+		u, v = v, u
+	}
+	for _, h := range f.row(u) {
+		if h.To == v {
+			return h.W, true
+		}
+	}
+	return 0, false
+}
+
+// EdgesUnordered returns all undirected edges in canonical (U < V) form in
+// row order.
+func (f *Frozen) EdgesUnordered() []Edge {
+	es := make([]Edge, 0, f.m)
+	for u := range f.rows {
+		for _, h := range f.row(u) {
+			if u < h.To {
+				es = append(es, Edge{U: u, V: h.To, W: h.W})
+			}
+		}
+	}
+	return es
+}
+
+// Edges returns all undirected edges sorted by weight then
+// lexicographically, matching Graph.Edges.
+func (f *Frozen) Edges() []Edge {
+	es := f.EdgesUnordered()
+	SortEdgesCanonical(es)
+	return es
+}
+
+// MaxDegree returns the cached maximum vertex degree.
+func (f *Frozen) MaxDegree() int { return f.maxDeg }
+
+// TotalWeight returns the cached sum of all edge weights.
+func (f *Frozen) TotalWeight() float64 { return f.weight }
+
+// Thaw returns a mutable deep copy of f — the inverse of Freeze, for
+// callers that need to edit a served topology offline.
+func (f *Frozen) Thaw() *Graph {
+	g := New(len(f.rows))
+	g.m = f.m
+	for u := range f.rows {
+		g.adj[u] = append([]Halfedge(nil), f.row(u)...)
+	}
+	return g
+}
+
+func (f *Frozen) check(u int) {
+	if u < 0 || u >= len(f.rows) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, len(f.rows)))
+	}
+}

@@ -1,10 +1,14 @@
-// Package graph provides the weighted-graph substrate: adjacency-list
-// graphs, shortest paths (full, bounded, and target-pruned Dijkstra), BFS
-// hop layers, minimum spanning trees, union-find, and connected components.
+// Package graph provides the weighted-graph substrate: the mutable
+// adjacency-list Graph that builders work on, the immutable CSR Frozen
+// that the serving layer reads from, the narrow Topology interface both
+// implement, shortest paths (full, bounded, and target-pruned Dijkstra),
+// BFS hop layers, minimum spanning trees, union-find, and connected
+// components.
 //
 // Every algorithm in the repository — the greedy spanners, the cluster
-// covers, the cluster graphs, the verification metrics — runs on this
-// representation. Vertices are dense integer IDs 0..n-1.
+// covers, the cluster graphs, the verification metrics — runs on these
+// representations: writers on *Graph, read-only consumers on Topology so
+// they accept either. Vertices are dense integer IDs 0..n-1.
 package graph
 
 import (
@@ -181,6 +185,14 @@ func (g *Graph) EdgesUnordered() []Edge {
 // weight then lexicographically; the order is deterministic.
 func (g *Graph) Edges() []Edge {
 	es := g.EdgesUnordered()
+	SortEdgesCanonical(es)
+	return es
+}
+
+// SortEdgesCanonical sorts an edge slice by weight, then (U, V)
+// lexicographically — the deterministic order shared by Graph.Edges,
+// Frozen.Edges, and the greedy processing pipeline.
+func SortEdgesCanonical(es []Edge) {
 	sort.Slice(es, func(i, j int) bool {
 		a, b := es[i], es[j]
 		if a.W != b.W {
@@ -191,6 +203,13 @@ func (g *Graph) Edges() []Edge {
 		}
 		return a.V < b.V
 	})
+}
+
+// SortedEdges returns t's undirected edges in the canonical sorted order —
+// the Topology counterpart of Graph.Edges.
+func SortedEdges(t Topology) []Edge {
+	es := t.EdgesUnordered()
+	SortEdgesCanonical(es)
 	return es
 }
 
@@ -232,10 +251,11 @@ func (g *Graph) check(u int) {
 // (or any vertex is out of range). A path of zero or one vertex has weight
 // 0 and is always valid. Concurrent serving layers use it to certify that a
 // delivered route is consistent with one specific topology snapshot.
-func PathWeight(g *Graph, path []int) (float64, bool) {
+func PathWeight(g Topology, path []int) (float64, bool) {
+	n := g.N()
 	var sum float64
 	for i, v := range path {
-		if v < 0 || v >= g.n {
+		if v < 0 || v >= n {
 			return 0, false
 		}
 		if i == 0 {

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGrowEdgeOpsOnGrownRange pins the interaction of Grow with the edge
+// mutators and predicates across the old/new vertex boundary: edges may be
+// added, queried, and removed on grown slots exactly like original ones,
+// and out-of-range queries stay false rather than panicking.
+func TestGrowEdgeOpsOnGrownRange(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+
+	// Before growing, the future range is out of range for the predicates.
+	if g.HasEdge(0, 5) || g.HasEdge(5, 0) {
+		t.Fatal("HasEdge true beyond vertex range")
+	}
+	if g.RemoveEdge(2, 2) {
+		t.Fatal("removed a self-loop that cannot exist")
+	}
+
+	g.Grow(8)
+	if g.N() != 8 || g.M() != 2 {
+		t.Fatalf("after Grow: n=%d m=%d", g.N(), g.M())
+	}
+
+	// Grown slots start isolated.
+	for v := 3; v < 8; v++ {
+		if g.Degree(v) != 0 {
+			t.Fatalf("grown vertex %d has degree %d", v, g.Degree(v))
+		}
+	}
+
+	// Cross-boundary and new-range edges behave like any other edge.
+	g.AddEdge(2, 6, 3) // old <-> new
+	g.AddEdge(6, 7, 4) // new <-> new
+	if !g.HasEdge(6, 2) || !g.HasEdge(7, 6) {
+		t.Fatal("edges on grown range not visible")
+	}
+	if w, ok := g.EdgeWeight(2, 6); !ok || w != 3 {
+		t.Fatalf("cross-boundary weight %v/%v", w, ok)
+	}
+	if !g.RemoveEdge(6, 2) {
+		t.Fatal("cross-boundary edge not removable")
+	}
+	if g.HasEdge(2, 6) || g.M() != 3 {
+		t.Fatalf("removal left state n=%d m=%d", g.N(), g.M())
+	}
+	// Removing it again reports false.
+	if g.RemoveEdge(2, 6) {
+		t.Fatal("double remove reported true")
+	}
+	// The pre-existing edges survived the grow and the churn above.
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("original edges lost")
+	}
+
+	// A second Grow (and a no-op shrink attempt) keeps everything.
+	g.Grow(8) // no-op
+	g.Grow(4) // no-op: Grow never shrinks
+	if g.N() != 8 {
+		t.Fatalf("no-op grows changed n to %d", g.N())
+	}
+	g.Grow(12)
+	if !g.HasEdge(6, 7) || g.M() != 3 {
+		t.Fatal("second grow lost edges")
+	}
+	g.AddEdge(11, 0, 5)
+	if !g.HasEdge(0, 11) {
+		t.Fatal("edge to newest range missing")
+	}
+}
+
+// TestGrowRemoveFuzz cross-checks RemoveEdge/HasEdge against the map-based
+// reference while interleaving Grow calls, so the invariants hold across
+// arbitrary grow points.
+func TestGrowRemoveFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	g := New(4)
+	ref := newRef(4)
+	for step := 0; step < 3000; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.05:
+			n := g.N() + 1 + rng.Intn(4)
+			g.Grow(n)
+			ref.n = n
+		case r < 0.6:
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			w := rng.Float64()
+			g.AddEdge(u, v, w)
+			ref.add(u, v, w)
+		default:
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			got := g.RemoveEdge(u, v)
+			want := ref.remove(u, v)
+			if got != want {
+				t.Fatalf("step %d: RemoveEdge(%d,%d) = %v, ref %v", step, u, v, got, want)
+			}
+		}
+		if g.M() != len(ref.edges) {
+			t.Fatalf("step %d: m=%d, ref %d", step, g.M(), len(ref.edges))
+		}
+	}
+	// Full predicate sweep at the end.
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			_, want := ref.edges[ref.key(u, v)]
+			if got := g.HasEdge(u, v); got != want {
+				t.Fatalf("HasEdge(%d,%d) = %v, ref %v", u, v, got, want)
+			}
+		}
+	}
+}

@@ -55,14 +55,22 @@ func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }
 // MST returns a minimum spanning forest of g as an edge list (Kruskal).
 // For a connected graph this is a minimum spanning tree. Ties are broken
 // deterministically by the canonical edge order.
-func (g *Graph) MST() []Edge {
-	edges := g.Edges()
-	uf := NewUnionFind(g.n)
+func (g *Graph) MST() []Edge { return MSTOf(g) }
+
+// MSTWeight returns the total weight of a minimum spanning forest of g.
+func (g *Graph) MSTWeight() float64 { return MSTWeightOf(g) }
+
+// MSTOf returns a minimum spanning forest of any read-only topology as an
+// edge list (Kruskal over the canonical edge order).
+func MSTOf(t Topology) []Edge {
+	edges := SortedEdges(t)
+	n := t.N()
+	uf := NewUnionFind(n)
 	var mst []Edge
 	for _, e := range edges {
 		if uf.Union(e.U, e.V) {
 			mst = append(mst, e)
-			if len(mst) == g.n-1 {
+			if len(mst) == n-1 {
 				break
 			}
 		}
@@ -70,10 +78,10 @@ func (g *Graph) MST() []Edge {
 	return mst
 }
 
-// MSTWeight returns the total weight of a minimum spanning forest of g.
-func (g *Graph) MSTWeight() float64 {
+// MSTWeightOf returns the total weight of a minimum spanning forest of t.
+func MSTWeightOf(t Topology) float64 {
 	var s float64
-	for _, e := range g.MST() {
+	for _, e := range MSTOf(t) {
 		s += e.W
 	}
 	return s

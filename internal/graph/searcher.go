@@ -127,11 +127,11 @@ func (s *Searcher) label(v int, d float64) bool {
 // DijkstraTarget returns the shortest-path distance from src to dst in g,
 // abandoning the search once all frontier labels exceed bound. The boolean
 // result reports whether a path of length at most bound exists.
-func (s *Searcher) DijkstraTarget(g *Graph, src, dst int, bound float64) (float64, bool) {
+func (s *Searcher) DijkstraTarget(g Topology, src, dst int, bound float64) (float64, bool) {
 	if src == dst {
 		return 0, true
 	}
-	s.begin(g.n)
+	s.begin(g.N())
 	s.label(src, 0)
 	s.push(0, int32(src))
 	for len(s.heap) > 0 {
@@ -144,7 +144,7 @@ func (s *Searcher) DijkstraTarget(g *Graph, src, dst int, bound float64) (float6
 			return it.dist, true
 		}
 		s.done[v] = s.epoch
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(v) {
 			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
 				s.push(nd, int32(h.To))
 			}
@@ -157,8 +157,8 @@ func (s *Searcher) DijkstraTarget(g *Graph, src, dst int, bound float64) (float6
 // distance bound (inclusive) with its distance, in settling order. The
 // returned slice is owned by the Searcher and valid only until its next
 // search; callers that need to keep it must copy.
-func (s *Searcher) Ball(g *Graph, src int, bound float64) []VertexDist {
-	s.begin(g.n)
+func (s *Searcher) Ball(g Topology, src int, bound float64) []VertexDist {
+	s.begin(g.N())
 	s.ball = s.ball[:0]
 	s.label(src, 0)
 	s.push(0, int32(src))
@@ -170,7 +170,7 @@ func (s *Searcher) Ball(g *Graph, src int, bound float64) []VertexDist {
 		}
 		s.done[v] = s.epoch
 		s.ball = append(s.ball, VertexDist{V: v, D: it.dist})
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(v) {
 			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
 				s.push(nd, int32(h.To))
 			}
@@ -182,8 +182,8 @@ func (s *Searcher) Ball(g *Graph, src int, bound float64) []VertexDist {
 // Dijkstra fills out with the shortest-path distance from src to every
 // vertex (Inf for unreachable ones), skipping expansion beyond bound.
 // len(out) must be g.N().
-func (s *Searcher) Dijkstra(g *Graph, src int, bound float64, out []float64) {
-	s.begin(g.n)
+func (s *Searcher) Dijkstra(g Topology, src int, bound float64, out []float64) {
+	s.begin(g.N())
 	for i := range out {
 		out[i] = Inf
 	}
@@ -197,7 +197,7 @@ func (s *Searcher) Dijkstra(g *Graph, src int, bound float64, out []float64) {
 		}
 		s.done[v] = s.epoch
 		out[v] = it.dist
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(v) {
 			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
 				s.push(nd, int32(h.To))
 			}
@@ -208,11 +208,11 @@ func (s *Searcher) Dijkstra(g *Graph, src int, bound float64, out []float64) {
 // PathTo returns the vertex sequence of a shortest src→dst path of length
 // at most bound, with its length. The path slice is freshly allocated (it
 // outlives the next search); scratch state is still reused.
-func (s *Searcher) PathTo(g *Graph, src, dst int, bound float64) ([]int, float64, bool) {
+func (s *Searcher) PathTo(g Topology, src, dst int, bound float64) ([]int, float64, bool) {
 	if src == dst {
 		return []int{src}, 0, true
 	}
-	s.begin(g.n)
+	s.begin(g.N())
 	s.label(src, 0)
 	s.prev[src] = -1
 	s.push(0, int32(src))
@@ -233,7 +233,7 @@ func (s *Searcher) PathTo(g *Graph, src, dst int, bound float64) ([]int, float64
 			}
 			return path, it.dist, true
 		}
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(v) {
 			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
 				s.prev[h.To] = int32(v)
 				s.push(nd, int32(h.To))
@@ -245,11 +245,11 @@ func (s *Searcher) PathTo(g *Graph, src, dst int, bound float64) ([]int, float64
 
 // HopsTo returns the hop distance (unweighted) from src to dst, with early
 // exit as soon as dst enters the BFS frontier.
-func (s *Searcher) HopsTo(g *Graph, src, dst int) (int, bool) {
+func (s *Searcher) HopsTo(g Topology, src, dst int) (int, bool) {
 	if src == dst {
 		return 0, true
 	}
-	s.begin(g.n)
+	s.begin(g.N())
 	s.queue = s.queue[:0]
 	s.queue = append(s.queue, int32(src))
 	s.seen[src] = s.epoch
@@ -257,7 +257,7 @@ func (s *Searcher) HopsTo(g *Graph, src, dst int) (int, bool) {
 	for i := 0; i < len(s.queue); i++ {
 		v := s.queue[i]
 		hv := s.hops[v]
-		for _, h := range g.adj[v] {
+		for _, h := range g.Neighbors(int(v)) {
 			if s.seen[h.To] == s.epoch {
 				continue
 			}

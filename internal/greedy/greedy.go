@@ -59,10 +59,11 @@ func Accept(s *graph.Searcher, sp *graph.Graph, e graph.Edge, t float64) bool {
 }
 
 // Spanner runs SEQ-GREEDY on g with stretch factor t and returns the
-// resulting spanner as a new graph on the same vertex set.
-func Spanner(g *graph.Graph, t float64) *graph.Graph {
+// resulting spanner as a new graph on the same vertex set. g only needs to
+// be readable; the spanner itself is always built as a mutable graph.
+func Spanner(g graph.Topology, t float64) *graph.Graph {
 	sp := graph.New(g.N())
-	Run(sp, g.Edges(), t) // Edges() is already weight-sorted
+	Run(sp, graph.SortedEdges(g), t)
 	return sp
 }
 

@@ -30,13 +30,13 @@ import (
 //
 // Both graphs must share a vertex set. If some edge's endpoints are
 // disconnected in sp the stretch is +Inf.
-func Stretch(g, sp *graph.Graph) float64 {
+func Stretch(g, sp graph.Topology) float64 {
 	return StretchParallel(g, sp, runtime.GOMAXPROCS(0))
 }
 
 // StretchParallel is Stretch with an explicit worker count (<= 1 runs
 // sequentially). All workers only read g and sp.
-func StretchParallel(g, sp *graph.Graph, workers int) float64 {
+func StretchParallel(g, sp graph.Topology, workers int) float64 {
 	return worstOverEdges(g.EdgesUnordered(), workers, func(s *graph.Searcher, e graph.Edge) float64 {
 		if sp.HasEdge(e.U, e.V) {
 			return 1
@@ -48,7 +48,7 @@ func StretchParallel(g, sp *graph.Graph, workers int) float64 {
 // edgeStretch returns sp_sp(u,v)/w, expanding the search budget
 // geometrically until the path is found so the common case (small stretch)
 // stays cheap; +Inf when no path exists.
-func edgeStretch(s *graph.Searcher, sp *graph.Graph, u, v int, w float64) float64 {
+func edgeStretch(s *graph.Searcher, sp graph.Topology, u, v int, w float64) float64 {
 	bound := 2 * w
 	for i := 0; i < 24; i++ {
 		if d, ok := s.DijkstraTarget(sp, u, v, bound); ok {
@@ -63,7 +63,7 @@ func edgeStretch(s *graph.Searcher, sp *graph.Graph, u, v int, w float64) float6
 // weight(u, v, euclid) maps an edge to its metric weight, letting callers
 // verify energy-metric spanners whose base graph carries Euclidean weights.
 // weight must be safe for concurrent calls.
-func StretchVsWeights(g, sp *graph.Graph, weight func(u, v int, euclid float64) float64) float64 {
+func StretchVsWeights(g, sp graph.Topology, weight func(u, v int, euclid float64) float64) float64 {
 	workers := runtime.GOMAXPROCS(0)
 	return worstOverEdges(g.EdgesUnordered(), workers, func(s *graph.Searcher, e graph.Edge) float64 {
 		w := weight(e.U, e.V, e.W)
@@ -76,7 +76,7 @@ func StretchVsWeights(g, sp *graph.Graph, weight func(u, v int, euclid float64) 
 // is the latency analogue of Stretch: a weight-spanner can still force
 // many short hops, which matters when per-hop processing dominates
 // propagation delay. +Inf if some edge's endpoints are disconnected in sp.
-func HopStretch(g, sp *graph.Graph) float64 {
+func HopStretch(g, sp graph.Topology) float64 {
 	workers := runtime.GOMAXPROCS(0)
 	return worstOverEdges(g.EdgesUnordered(), workers, func(s *graph.Searcher, e graph.Edge) float64 {
 		if sp.HasEdge(e.U, e.V) {
@@ -157,7 +157,7 @@ type DegreeStats struct {
 }
 
 // Degrees returns max and average degree of g.
-func Degrees(g *graph.Graph) DegreeStats {
+func Degrees(g graph.Topology) DegreeStats {
 	ds := DegreeStats{Max: g.MaxDegree()}
 	if g.N() > 0 {
 		ds.Avg = 2 * float64(g.M()) / float64(g.N())
@@ -168,8 +168,8 @@ func Degrees(g *graph.Graph) DegreeStats {
 // WeightRatio returns w(sp) / w(MST(g)) — the Theorem 13 quantity. The MST
 // is computed on g with g's weights; sp's total weight uses sp's weights, so
 // callers must keep both graphs in the same metric.
-func WeightRatio(g, sp *graph.Graph) float64 {
-	mst := g.MSTWeight()
+func WeightRatio(g, sp graph.Topology) float64 {
+	mst := graph.MSTWeightOf(g)
 	if mst == 0 {
 		return 1
 	}
@@ -179,7 +179,7 @@ func WeightRatio(g, sp *graph.Graph) float64 {
 // PowerCost returns Σ_u max_{v∈N(u)} w(u,v), the power-cost measure of
 // §1.6.3 (each radio transmits at the power needed to reach its farthest
 // chosen neighbor). Isolated vertices contribute zero.
-func PowerCost(g *graph.Graph) float64 {
+func PowerCost(g graph.Topology) float64 {
 	var total float64
 	for u := 0; u < g.N(); u++ {
 		var max float64
@@ -207,9 +207,9 @@ type Report struct {
 // Evaluate builds a Report for spanner sp over base g. PowerRatio compares
 // sp's power cost to that of the MST of g (the sparsest connected
 // benchmark).
-func Evaluate(name string, g, sp *graph.Graph) Report {
+func Evaluate(name string, g, sp graph.Topology) Report {
 	deg := Degrees(sp)
-	mstG := graph.FromEdges(g.N(), g.MST())
+	mstG := graph.FromEdges(g.N(), graph.MSTOf(g))
 	pcMST := PowerCost(mstG)
 	pr := math.Inf(1)
 	if pcMST > 0 {

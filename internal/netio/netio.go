@@ -166,7 +166,9 @@ func Read(r io.Reader) (*Instance, error) {
 // Instances compress ~4x (coordinates and weights share long digit runs),
 // which is what makes shipping large deployments to a remote topoctld
 // daemon cheap; `.topo.gz` is the conventional extension but any `.gz`
-// suffix triggers compression.
+// suffix triggers compression. The extension only decides what WriteTo
+// produces — ReadFrom sniffs the gzip magic bytes instead of trusting the
+// name, so mislabeled files load correctly in both directions.
 func compressed(path string) bool { return strings.HasSuffix(path, ".gz") }
 
 // WriteTo serializes the instance to the named file, gzip-compressing when
@@ -192,17 +194,25 @@ func WriteTo(path string, inst *Instance) (err error) {
 }
 
 // ReadFrom parses an instance from the named file, transparently
-// decompressing when the path ends in .gz.
+// decompressing gzip content. Compression is detected by sniffing the
+// two-byte gzip magic number (0x1f 0x8b), not by the file extension, so a
+// plain-text file mislabeled `.gz` and a gzip stream without the suffix
+// both load correctly.
 func ReadFrom(path string) (*Instance, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if !compressed(path) {
-		return Read(f)
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("netio: %s: %w", path, err)
 	}
-	zr, err := gzip.NewReader(f)
+	if len(magic) < 2 || magic[0] != 0x1f || magic[1] != 0x8b {
+		return Read(br)
+	}
+	zr, err := gzip.NewReader(br)
 	if err != nil {
 		return nil, fmt.Errorf("netio: %s: %w", path, err)
 	}

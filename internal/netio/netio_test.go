@@ -198,12 +198,35 @@ func TestFileRoundTripGzip(t *testing.T) {
 		t.Errorf("gzip did not shrink instance: %d >= %d bytes", len(packed), len(plain))
 	}
 
-	// A plain-text file mislabeled .gz must fail loudly, not parse garbage.
-	bad := filepath.Join(dir, "bad.topo.gz")
-	if err := os.WriteFile(bad, plain, 0o644); err != nil {
+	// Mislabeled files must load correctly in both directions: ReadFrom
+	// sniffs the gzip magic bytes instead of trusting the extension.
+	plainAsGz := filepath.Join(dir, "plain-content.topo.gz")
+	if err := os.WriteFile(plainAsGz, plain, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadFrom(bad); err == nil {
-		t.Error("mislabeled .gz parsed without error")
+	out, err := ReadFrom(plainAsGz)
+	if err != nil {
+		t.Fatalf("plain content named .gz: %v", err)
+	}
+	sameInstance(t, in, out)
+
+	gzAsPlain := filepath.Join(dir, "gzip-content.topo")
+	if err := os.WriteFile(gzAsPlain, packed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ReadFrom(gzAsPlain)
+	if err != nil {
+		t.Fatalf("gzip content without .gz suffix: %v", err)
+	}
+	sameInstance(t, in, out)
+
+	// Content that merely starts with the gzip magic but is not a valid
+	// stream must still fail loudly, not parse garbage.
+	corrupt := filepath.Join(dir, "corrupt.topo.gz")
+	if err := os.WriteFile(corrupt, append([]byte{0x1f, 0x8b}, plain...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(corrupt); err == nil {
+		t.Error("corrupt gzip stream parsed without error")
 	}
 }

@@ -76,14 +76,16 @@ func (r Route) Hops() int {
 	return len(r.Path) - 1
 }
 
-// Router routes packets over a fixed topology with node positions.
+// Router routes packets over a fixed topology with node positions. Any
+// read-only topology works: the serving layer hands it frozen (immutable
+// CSR) snapshots, tests and experiments hand it mutable graphs.
 type Router struct {
-	g   *graph.Graph
+	g   graph.Topology
 	pts []geom.Point
 }
 
 // NewRouter builds a router for topology g embedded at pts.
-func NewRouter(g *graph.Graph, pts []geom.Point) (*Router, error) {
+func NewRouter(g graph.Topology, pts []geom.Point) (*Router, error) {
 	if g.N() != len(pts) {
 		return nil, fmt.Errorf("routing: %d vertices but %d points", g.N(), len(pts))
 	}

@@ -2,7 +2,6 @@ package service
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"topoctl/internal/routing"
 )
@@ -22,13 +21,12 @@ const cacheShards = 16
 // sharding keeps the lock a reader takes on the hot path uncontended well
 // past the concurrency levels the stress test and load generator drive.
 //
-// Hit/miss counters are service-lifetime aggregates and live here as
-// atomics (not under the shard locks) so /stats can read them without
-// touching any shard.
+// Hit/miss/eviction counters are service-lifetime aggregates and live in
+// the service's counters struct as atomics (not under the shard locks) so
+// /stats can read them without touching any shard.
 type routeCache struct {
 	shards [cacheShards]cacheShard
-	hits   *atomic.Uint64
-	misses *atomic.Uint64
+	ctr    *counters
 }
 
 // cacheShard is one lock-striped LRU: a slot-addressed entry arena whose
@@ -49,13 +47,14 @@ type cacheEntry struct {
 }
 
 // newRouteCache builds a cache with roughly the given total capacity,
-// counting hits and misses into the provided service-lifetime counters.
-func newRouteCache(capacity int, hits, misses *atomic.Uint64) *routeCache {
+// counting hits, misses, and evictions into the provided service-lifetime
+// counters.
+func newRouteCache(capacity int, ctr *counters) *routeCache {
 	per := capacity / cacheShards
 	if per < 4 {
 		per = 4
 	}
-	c := &routeCache{hits: hits, misses: misses}
+	c := &routeCache{ctr: ctr}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.capacity = per
@@ -75,15 +74,17 @@ func (c *routeCache) shard(k routeKey) *cacheShard {
 func (c *routeCache) get(k routeKey) (RouteResult, bool) {
 	v, ok := c.shard(k).get(k)
 	if ok {
-		c.hits.Add(1)
+		c.ctr.cacheHits.Add(1)
 	} else {
-		c.misses.Add(1)
+		c.ctr.cacheMiss.Add(1)
 	}
 	return v, ok
 }
 
 func (c *routeCache) put(k routeKey, v RouteResult) {
-	c.shard(k).put(k, v)
+	if c.shard(k).put(k, v) {
+		c.ctr.cacheEvict.Add(1)
+	}
 }
 
 func (s *cacheShard) get(k routeKey) (RouteResult, bool) {
@@ -97,15 +98,17 @@ func (s *cacheShard) get(k routeKey) (RouteResult, bool) {
 	return s.entries[i].val, true
 }
 
-func (s *cacheShard) put(k routeKey, v RouteResult) {
+// put inserts or refreshes k, reporting whether it evicted an entry.
+func (s *cacheShard) put(k routeKey, v RouteResult) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if i, ok := s.index[k]; ok {
 		s.entries[i].val = v
 		s.touch(i)
-		return
+		return false
 	}
 	var i int32
+	evicted := false
 	if len(s.entries) < s.capacity {
 		i = int32(len(s.entries))
 		s.entries = append(s.entries, cacheEntry{})
@@ -113,10 +116,12 @@ func (s *cacheShard) put(k routeKey, v RouteResult) {
 		i = s.tail // evict the least recently used entry in place
 		s.unlink(i)
 		delete(s.index, s.entries[i].key)
+		evicted = true
 	}
 	s.entries[i] = cacheEntry{key: k, val: v, prev: -1, next: -1}
 	s.index[k] = i
 	s.pushFront(i)
+	return evicted
 }
 
 // len reports the number of cached entries (for tests and /stats).

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"sync/atomic"
 	"testing"
 
 	"topoctl/internal/routing"
@@ -16,8 +15,8 @@ func val(cost float64) RouteResult {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	var hits, misses atomic.Uint64
-	c := newRouteCache(0, &hits, &misses) // minimum capacity: 4 per shard
+	var ctr counters
+	c := newRouteCache(0, &ctr) // minimum capacity: 4 per shard
 
 	// Drive one shard directly so eviction order is observable regardless
 	// of how keys hash across shards.
@@ -55,8 +54,8 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheGetPutAcrossShards(t *testing.T) {
-	var hits, misses atomic.Uint64
-	c := newRouteCache(256, &hits, &misses)
+	var ctr counters
+	c := newRouteCache(256, &ctr)
 	for i := 0; i < 200; i++ {
 		c.put(key(i, i+1), val(float64(i)))
 	}
@@ -72,8 +71,12 @@ func TestCacheGetPutAcrossShards(t *testing.T) {
 	if found < 150 { // capacity 256 over 16 shards: most must survive
 		t.Fatalf("only %d/200 entries survived", found)
 	}
-	if hits.Load() != uint64(found) || misses.Load() != uint64(200-found) {
-		t.Fatalf("hits %d misses %d, want %d/%d", hits.Load(), misses.Load(), found, 200-found)
+	if h, m := ctr.cacheHits.Load(), ctr.cacheMiss.Load(); h != uint64(found) || m != uint64(200-found) {
+		t.Fatalf("hits %d misses %d, want %d/%d", h, m, found, 200-found)
+	}
+	// Every insertion beyond capacity evicted exactly one entry.
+	if ev := ctr.cacheEvict.Load(); ev != uint64(200-c.len()) {
+		t.Fatalf("evictions %d, want %d", ev, 200-c.len())
 	}
 	if c.len() != 200-(200-found) {
 		t.Fatalf("len = %d, want %d", c.len(), found)

@@ -7,10 +7,13 @@
 //
 //   - All mutations funnel through one writer goroutine that owns the
 //     engine outright. A mutation batch is applied under the engine's
-//     Begin/Commit coalescing, then the writer deep-copies the engine
-//     state (dynamic.Engine.Export) into a fresh Snapshot — graph, grid
-//     positions, router, and a brand-new LRU route cache — and publishes
-//     it with one atomic pointer store.
+//     Begin/Commit coalescing, then the writer freezes the engine state
+//     (dynamic.Engine.ExportFrozen) into a fresh Snapshot — immutable CSR
+//     graphs, positions, router, and a brand-new LRU route cache — and
+//     publishes it with one atomic pointer store. The freeze is
+//     delta-aware: only adjacency rows the batch touched are rebuilt,
+//     everything else is shared with the previous snapshot, so publish
+//     cost tracks the repair, not the topology size.
 //   - Readers load the current snapshot with an atomic pointer read and
 //     never take a lock shared with the writer. A reader holding an old
 //     snapshot keeps getting internally consistent answers from the
@@ -131,6 +134,7 @@ type counters struct {
 	delivered  atomic.Uint64
 	cacheHits  atomic.Uint64
 	cacheMiss  atomic.Uint64
+	cacheEvict atomic.Uint64
 	mutOps     atomic.Uint64
 	mutBatches atomic.Uint64
 }
@@ -273,11 +277,13 @@ func (s *Service) apply(eng *dynamic.Engine, ops []Op) *MutateResult {
 	return res
 }
 
-// publish deep-copies the engine state into a fresh snapshot and swaps it
-// in. Called from New (before the writer starts) and then only from the
-// writer goroutine.
+// publish freezes the engine state into a fresh snapshot and swaps it in.
+// The export is delta-aware: only adjacency rows the batch touched are
+// re-frozen, everything else is shared with the previous snapshot. Called
+// from New (before the writer starts) and then only from the writer
+// goroutine.
 func (s *Service) publish(eng *dynamic.Engine) *Snapshot {
-	points, alive, base, sp := eng.Export()
+	points, alive, base, sp := eng.ExportFrozen()
 	version := uint64(1)
 	if old := s.snap.Load(); old != nil {
 		version = old.Version + 1
@@ -297,11 +303,9 @@ func (s *Service) publish(eng *dynamic.Engine) *Snapshot {
 		Spanner:       sp,
 		router:        router,
 		searchers:     s.searchers,
-		cache:         newRouteCache(s.opts.CacheSize, &s.ctr.cacheHits, &s.ctr.cacheMiss),
+		cache:         newRouteCache(s.opts.CacheSize, &s.ctr),
 		ctr:           &s.ctr,
 		live:          eng.N(),
-		weight:        sp.TotalWeight(),
-		maxDeg:        sp.MaxDegree(),
 		stretchSample: s.opts.StretchSample,
 		seed:          s.opts.Seed,
 	}
@@ -357,14 +361,15 @@ type Stats struct {
 	BBoxLo geom.Point `json:"bbox_lo"`
 	BBoxHi geom.Point `json:"bbox_hi"`
 	// Serving counters (service lifetime).
-	Routes        uint64  `json:"routes"`
-	Delivered     uint64  `json:"delivered"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheEntries  int     `json:"cache_entries"`
-	MutationOps   uint64  `json:"mutation_ops"`
-	MutationBatch uint64  `json:"mutation_batches"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Routes         uint64  `json:"routes"`
+	Delivered      uint64  `json:"delivered"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	MutationOps    uint64  `json:"mutation_ops"`
+	MutationBatch  uint64  `json:"mutation_batches"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
 // Stats assembles the statistics document for the current snapshot.
@@ -380,8 +385,8 @@ func (s *Service) Stats() Stats {
 		Slots:           len(snap.Alive),
 		BaseEdges:       snap.Base.M(),
 		SpannerEdges:    snap.Spanner.M(),
-		SpannerWeight:   snap.weight,
-		MaxDegree:       snap.maxDeg,
+		SpannerWeight:   snap.Spanner.TotalWeight(),
+		MaxDegree:       snap.Spanner.MaxDegree(),
 		StretchBound:    snap.T,
 		StretchEstimate: est,
 		StretchExact:    exact,
@@ -391,6 +396,7 @@ func (s *Service) Stats() Stats {
 		Delivered:       s.ctr.delivered.Load(),
 		CacheHits:       s.ctr.cacheHits.Load(),
 		CacheMisses:     s.ctr.cacheMiss.Load(),
+		CacheEvictions:  s.ctr.cacheEvict.Load(),
 		CacheEntries:    snap.cache.len(),
 		MutationOps:     s.ctr.mutOps.Load(),
 		MutationBatch:   s.ctr.mutBatches.Load(),

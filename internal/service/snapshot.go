@@ -11,14 +11,16 @@ import (
 )
 
 // Snapshot is one immutable, internally consistent view of the topology:
-// slot-indexed node positions, the base connectivity graph, the maintained
-// t-spanner, a router over the spanner, a fresh LRU route cache, and a
-// reference to the service's searcher pool. Readers load the current
-// snapshot with a single atomic pointer read and then work entirely
-// against frozen state — a concurrent mutation batch swaps in a successor
-// snapshot but can never alter this one, so every answer a snapshot gives
-// is consistent with exactly one topology version (no torn reads by
-// construction).
+// slot-indexed node positions, the base connectivity graph and maintained
+// t-spanner as frozen CSR graphs (graph.Frozen), a router over the
+// spanner, a fresh LRU route cache, and a reference to the service's
+// searcher pool. Readers load the current snapshot with a single atomic
+// pointer read and then work entirely against frozen state — a concurrent
+// mutation batch swaps in a successor snapshot but can never alter this
+// one, so every answer a snapshot gives is consistent with exactly one
+// topology version (no torn reads by construction). Because the graphs are
+// frozen at export, successive snapshots share the storage of every
+// adjacency row the mutation batch did not touch.
 type Snapshot struct {
 	// Version increments with every applied mutation batch (1 = initial).
 	Version uint64
@@ -29,9 +31,9 @@ type Snapshot struct {
 	// Alive marks which slots hold live nodes.
 	Alive []bool
 	// Base is the connectivity graph (radius model) at this version.
-	Base *graph.Graph
+	Base *graph.Frozen
 	// Spanner is the maintained t-spanner routes are forwarded on.
-	Spanner *graph.Graph
+	Spanner *graph.Frozen
 
 	router    *routing.Router
 	searchers chan *graph.Searcher // shared with the service; see acquire
@@ -39,8 +41,6 @@ type Snapshot struct {
 	ctr       *counters // service-lifetime counters, shared across snapshots
 
 	live   int
-	weight float64 // total spanner weight
-	maxDeg int     // max spanner degree
 	bboxLo geom.Point
 	bboxHi geom.Point
 
