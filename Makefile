@@ -33,7 +33,7 @@ race:
 
 # Benchmark smoke: one iteration of each micro-benchmark with allocation
 # accounting, to catch perf regressions that change allocs/op.
-BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn|BenchmarkService
+BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn|BenchmarkService|BenchmarkRouteUncached
 BENCH_PKGS = . ./internal/service/
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x $(BENCH_PKGS)

@@ -1,0 +1,89 @@
+// Command benchtxt converts `go test -json` benchmark output — the framing
+// `make bench-json` emits and CI archives — back into the plain text
+// benchmark format that benchstat consumes. It reads the JSON event stream
+// on stdin and writes the benchmark result lines (plus the goos/goarch/
+// pkg/cpu header benchstat uses to group configurations) to stdout,
+// dropping everything else: test chatter, PASS/ok trailers, and any
+// non-JSON noise interleaved by the harness.
+//
+// test2json splits a single benchmark result line across several output
+// events (the name fragment ends in a tab, the measurements follow in the
+// next event), so the filter reassembles each package's output stream
+// before splitting it into lines.
+//
+// CI uses it to diff the committed BENCH_baseline.json against the current
+// run:
+//
+//	go run ./cmd/benchtxt < BENCH_baseline.json > old.txt
+//	go run ./cmd/benchtxt < bench.json > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// event is the subset of the test2json event schema benchtxt cares about.
+type event struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// keepPrefixes selects the reassembled lines that belong in a benchstat
+// input file. Result lines start with "Benchmark"; the four header lines
+// scope results to a machine and package. (Benchmark *announcement* lines
+// — a bare name with no measurements — also match, but benchstat ignores
+// lines that do not parse as results, so they are harmless.)
+var keepPrefixes = []string{"Benchmark", "goos:", "goarch:", "pkg:", "cpu:"}
+
+// run filters the JSON event stream from r into benchmark text on w.
+func run(r io.Reader, w io.Writer) error {
+	in := bufio.NewScanner(r)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	streams := map[string]*strings.Builder{}
+	var order []string
+	for in.Scan() {
+		var ev event
+		if err := json.Unmarshal(in.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (build output, warnings)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := streams[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			streams[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := in.Err(); err != nil {
+		return err
+	}
+	out := bufio.NewWriter(w)
+	for _, pkg := range order {
+		for _, line := range strings.Split(streams[pkg].String(), "\n") {
+			for _, p := range keepPrefixes {
+				if strings.HasPrefix(line, p) {
+					fmt.Fprintln(out, line)
+					break
+				}
+			}
+		}
+	}
+	return out.Flush()
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtxt:", err)
+		os.Exit(1)
+	}
+}

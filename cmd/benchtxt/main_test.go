@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunReassemblesAndFilters(t *testing.T) {
+	// A benchmark result line split across events, the way test2json frames
+	// it (name fragment ends in a tab, measurements follow separately),
+	// interleaved with a second package.
+	in := strings.Join([]string{
+		`{"Action":"start","Package":"topoctl"}`,
+		`{"Action":"output","Package":"topoctl","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"goarch: amd64\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"pkg: topoctl\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"cpu: Intel(R) Xeon(R)\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"BenchmarkSeqGreedy/n=128\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"BenchmarkSeqGreedy/n=128 \t"}`,
+		`{"Action":"output","Package":"topoctl/internal/service","Output":"pkg: topoctl/internal/service\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"      10\t    472631 ns/op\t   48421 B/op\t     373 allocs/op\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"PASS\n"}`,
+		`{"Action":"output","Package":"topoctl","Output":"ok  \ttopoctl\t0.405s\n"}`,
+		`not json at all`,
+		`{"Action":"pass","Package":"topoctl"}`,
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	want := "goos: linux\ngoarch: amd64\npkg: topoctl\ncpu: Intel(R) Xeon(R)\nBenchmarkSeqGreedy/n=128\nBenchmarkSeqGreedy/n=128 \t      10\t    472631 ns/op\t   48421 B/op\t     373 allocs/op\npkg: topoctl/internal/service\n"
+	if got != want {
+		t.Fatalf("filtered output:\n%q\nwant:\n%q", got, want)
+	}
+	if strings.Contains(got, "PASS") || strings.Contains(got, "ok  ") {
+		t.Fatal("trailer lines leaked through")
+	}
+}

@@ -302,8 +302,7 @@ func (b *builder) absorbSelectStats(st SelectStats) {
 func NeedsEdge(h *graph.Graph, q EdgeInfo, t float64, faultK int, mode fault.Mode) bool {
 	bound := t * q.W
 	if faultK == 0 {
-		_, ok := h.DijkstraTarget(q.U, q.V, bound)
-		return !ok
+		return !h.ReachableWithin(q.U, q.V, bound)
 	}
 	return !fault.DisjointPathsAtLeast(h, q.U, q.V, bound, faultK+1, mode)
 }
@@ -360,7 +359,7 @@ func (b *builder) phaseEager(edges []EdgeInfo) {
 			continue
 		}
 		b.stats.Queried++
-		if _, ok := b.sp.DijkstraTarget(e.U, e.V, b.p.T*e.W); ok {
+		if b.sp.ReachableWithin(e.U, e.V, b.p.T*e.W) {
 			continue
 		}
 		b.sp.AddEdge(e.U, e.V, e.W)

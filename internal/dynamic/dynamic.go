@@ -22,7 +22,11 @@
 // against the pre-change spanner, and (c) replays the greedy
 // edge-acceptance rule (greedy.Accept, the rule extracted from SEQ-GREEDY)
 // over only the base edges incident to dirty vertices, in canonical greedy
-// order. Batched mode (Begin/Commit) coalesces an operation burst into one
+// order. The replay runs on the bidirectional existence kernel
+// (graph.Searcher.ReachableWithin): each candidate probe grows two
+// half-radius frontiers from the edge's endpoints and stops at the first
+// meeting within t·w, rather than settling the full ball around one
+// endpoint. Batched mode (Begin/Commit) coalesces an operation burst into one
 // repair pass: structural updates apply immediately, dirty balls
 // accumulate, and candidates are re-accepted once.
 //

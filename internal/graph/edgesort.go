@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math"
+	"slices"
+)
+
+// Canonical edge ordering — by weight, then (U, V) lexicographically — is
+// on the hot path of every greedy construction: SEQ-GREEDY sorts the full
+// candidate edge list before its acceptance sweep, and on dense instances
+// (m ~ n²/2) the sort rivals the acceptance searches themselves. Small
+// slices use the generic slices.SortFunc (no interface boxing, no
+// reflected swaps); large ones take an LSD radix sort over the IEEE-754
+// bit pattern of the weight, which is branch-free per element and linear
+// in m.
+
+// cmpEdgeCanonical is the canonical three-way comparator. Vertex ids are
+// dense small ints, so the subtractions cannot overflow.
+func cmpEdgeCanonical(a, b Edge) int {
+	switch {
+	case a.W != b.W:
+		if a.W < b.W {
+			return -1
+		}
+		return 1
+	case a.U != b.U:
+		return a.U - b.U
+	default:
+		return a.V - b.V
+	}
+}
+
+// cmpEdgeUV breaks ties among equal-weight edges.
+func cmpEdgeUV(a, b Edge) int {
+	if a.U != b.U {
+		return a.U - b.U
+	}
+	return a.V - b.V
+}
+
+// radixMinEdges is the slice length at which the radix path takes over.
+// Below it the comparison sort wins (and allocates nothing, which matters
+// to the incremental-repair loop whose candidate lists are tiny).
+const radixMinEdges = 2048
+
+// SortEdgesCanonical sorts an edge slice by weight, then (U, V)
+// lexicographically — the deterministic order shared by Graph.Edges,
+// Frozen.Edges, and the greedy processing pipeline. The result is
+// identical for the comparison and radix paths (pinned by differential
+// test), so callers never observe the cutover.
+func SortEdgesCanonical(es []Edge) {
+	if len(es) < radixMinEdges {
+		slices.SortFunc(es, cmpEdgeCanonical)
+		return
+	}
+	radixSortEdges(es)
+}
+
+// edgeKeyIdx pairs a sortable weight key with the edge's original index,
+// so the radix passes move 16-byte records instead of 24-byte edges; the
+// edges are permuted once at the end.
+type edgeKeyIdx struct {
+	key uint64
+	idx int32
+}
+
+// radixSortEdges sorts es canonically: four 16-bit LSD counting passes
+// over the weight key, one permutation pass, then a comparison sort inside
+// each equal-weight run for the (U, V) tie-break. The weight key is the
+// standard total-order fold of the IEEE-754 bits (negatives, including
+// -0.0, order below positives); the tie-break pass detects runs with
+// float equality, so -0.0 and +0.0 — distinct keys, equal weights — end
+// up in the same run and in canonical (U, V) order, exactly as the
+// comparison sort leaves them.
+func radixSortEdges(es []Edge) {
+	n := len(es)
+	keys := make([]edgeKeyIdx, n)
+	for i, e := range es {
+		b := math.Float64bits(e.W)
+		if b>>63 == 1 {
+			b = ^b
+		} else {
+			b |= 1 << 63
+		}
+		keys[i] = edgeKeyIdx{key: b, idx: int32(i)}
+	}
+	tmp := make([]edgeKeyIdx, n)
+	count := make([]int32, 1<<16)
+	src, dst := keys, tmp
+	for shift := 0; shift < 64; shift += 16 {
+		clear(count)
+		for _, k := range src {
+			count[(k.key>>shift)&0xffff]++
+		}
+		if count[(src[0].key>>shift)&0xffff] == int32(n) {
+			continue // every key shares this digit: pass is a no-op
+		}
+		var sum int32
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := (k.key >> shift) & 0xffff
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	out := make([]Edge, n)
+	for i, k := range src {
+		out[i] = es[k.idx]
+	}
+	copy(es, out)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && es[j].W == es[i].W {
+			j++
+		}
+		if j-i > 1 {
+			slices.SortFunc(es[i:j], cmpEdgeUV)
+		}
+		i = j
+	}
+}

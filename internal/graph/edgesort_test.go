@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// refSortEdges is the retired comparison-only implementation, kept as the
+// oracle the radix path must match element-for-element.
+func refSortEdges(es []Edge) {
+	slices.SortFunc(es, cmpEdgeCanonical)
+}
+
+func requireSameOrder(t *testing.T, got, want []Edge, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		// NaN-free inputs: struct equality is exact.
+		if got[i] != want[i] {
+			t.Fatalf("%s: index %d: %+v vs %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRadixSortMatchesComparisonSort fuzzes edge lists well past the radix
+// cutover — random weights, heavy duplicate weights (lattice-style
+// distance classes), duplicate triples, all-equal weights, and a -0.0/+0.0
+// mix — and requires the exact order the comparison sort produces.
+func TestRadixSortMatchesComparisonSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	gen := map[string]func(i int) Edge{
+		"random": func(i int) Edge {
+			return Edge{U: rng.Intn(200), V: rng.Intn(200), W: rng.Float64() * 10}
+		},
+		"duplicate-weights": func(i int) Edge {
+			// Few distinct weights: long tie runs exercise the (U,V) pass.
+			return Edge{U: rng.Intn(500), V: rng.Intn(500), W: float64(rng.Intn(7))}
+		},
+		"all-equal": func(i int) Edge {
+			return Edge{U: rng.Intn(100), V: rng.Intn(100), W: 1.25}
+		},
+		"signed-zero": func(i int) Edge {
+			w := 0.0
+			switch rng.Intn(3) {
+			case 0:
+				w = math.Copysign(0, -1)
+			case 1:
+				w = rng.Float64()
+			}
+			return Edge{U: rng.Intn(50), V: rng.Intn(50), W: w}
+		},
+		"tiny-range": func(i int) Edge {
+			// Identical high key digits: exercises the pass-skip path.
+			return Edge{U: rng.Intn(50), V: rng.Intn(50), W: 1 + rng.Float64()*1e-9}
+		},
+	}
+	for name, g := range gen {
+		for _, n := range []int{radixMinEdges - 1, radixMinEdges, 3 * radixMinEdges} {
+			a := make([]Edge, n)
+			for i := range a {
+				a[i] = g(i)
+			}
+			b := append([]Edge(nil), a...)
+			SortEdgesCanonical(a)
+			refSortEdges(b)
+			requireSameOrder(t, a, b, name)
+		}
+	}
+}
+
+func BenchmarkSortEdgesCanonical(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	es := make([]Edge, 1<<17)
+	for i := range es {
+		es[i] = Edge{U: rng.Intn(512), V: rng.Intn(512), W: rng.Float64()}
+	}
+	work := make([]Edge, len(es))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, es)
+		SortEdgesCanonical(work)
+	}
+}

@@ -13,7 +13,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Halfedge is one direction of an undirected weighted edge.
@@ -187,22 +186,6 @@ func (g *Graph) Edges() []Edge {
 	es := g.EdgesUnordered()
 	SortEdgesCanonical(es)
 	return es
-}
-
-// SortEdgesCanonical sorts an edge slice by weight, then (U, V)
-// lexicographically — the deterministic order shared by Graph.Edges,
-// Frozen.Edges, and the greedy processing pipeline.
-func SortEdgesCanonical(es []Edge) {
-	sort.Slice(es, func(i, j int) bool {
-		a, b := es[i], es[j]
-		if a.W != b.W {
-			return a.W < b.W
-		}
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
-	})
 }
 
 // SortedEdges returns t's undirected edges in the canonical sorted order —

@@ -17,65 +17,11 @@ type heapItem struct {
 	v    int32
 }
 
-// Searcher is reusable scratch state for graph searches: epoch-stamped
-// visited/distance arrays (O(1) logical reset between searches), an
-// index-based binary heap of (vertex, dist) pairs, and result buffers. A
-// Searcher performs zero steady-state allocations: after it has grown to
-// the largest graph it has seen, every search reuses the same memory.
-//
-// A Searcher is not safe for concurrent use; give each goroutine its own
-// (see metrics.StretchParallel) or use the package-level pool via the
-// Graph.Dijkstra* convenience methods. The graphs passed to a Searcher's
-// methods may differ call to call — the scratch arrays grow to the largest
-// vertex count seen.
-type Searcher struct {
-	epoch uint32
-	seen  []uint32 // seen[v] == epoch: label of v is valid this search
-	done  []uint32 // done[v] == epoch: v is settled this search
-	dist  []float64
-	hops  []int32
-	prev  []int32
-	heap  []heapItem
-	ball  []VertexDist
-	queue []int32
-}
-
-// NewSearcher returns a Searcher pre-sized for graphs of n vertices.
-func NewSearcher(n int) *Searcher {
-	s := &Searcher{}
-	s.grow(n)
-	return s
-}
-
-// grow resizes the scratch arrays for graphs of n vertices.
-func (s *Searcher) grow(n int) {
-	s.seen = make([]uint32, n)
-	s.done = make([]uint32, n)
-	s.dist = make([]float64, n)
-	s.hops = make([]int32, n)
-	s.prev = make([]int32, n)
-	s.epoch = 0
-}
-
-// begin starts a new search over an n-vertex graph: one counter bump
-// invalidates every stamp from previous searches.
-func (s *Searcher) begin(n int) {
-	if len(s.seen) < n {
-		s.grow(n)
-	}
-	s.epoch++
-	if s.epoch == 0 { // stamp wrap-around: stale stamps could collide
-		clear(s.seen)
-		clear(s.done)
-		s.epoch = 1
-	}
-	s.heap = s.heap[:0]
-}
-
-// push inserts (d, v) into the heap.
-func (s *Searcher) push(d float64, v int32) {
-	s.heap = append(s.heap, heapItem{dist: d, v: v})
-	h := s.heap
+// heapPush inserts (d, v). The heap is passed by pointer so the forward and
+// backward frontiers of the bidirectional kernels share one implementation
+// without boxing.
+func heapPush(hp *[]heapItem, d float64, v int32) {
+	h := append(*hp, heapItem{dist: d, v: v})
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
@@ -85,16 +31,16 @@ func (s *Searcher) push(d float64, v int32) {
 		h[p], h[i] = h[i], h[p]
 		i = p
 	}
+	*hp = h
 }
 
-// pop removes and returns the minimum-distance entry.
-func (s *Searcher) pop() heapItem {
-	h := s.heap
+// heapPop removes and returns the minimum-distance entry.
+func heapPop(hp *[]heapItem) heapItem {
+	h := *hp
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	s.heap = h[:n]
-	h = s.heap
+	h = h[:n]
 	i := 0
 	for {
 		l := 2*i + 1
@@ -111,10 +57,104 @@ func (s *Searcher) pop() heapItem {
 		h[i], h[m] = h[m], h[i]
 		i = m
 	}
+	*hp = h
 	return top
 }
 
-// label relaxes v to distance d, reporting whether that improved its label.
+// SearchStats counts the work a Searcher has performed since construction
+// or the last ResetStats. Settled is the number of vertices expanded
+// (popped from a frontier and relaxed) across all searches — the quantity
+// the bidirectional kernels halve relative to the unidirectional ones,
+// pinned by test rather than benchmark noise. BFS dequeues (HopsTo) count
+// as settles too.
+type SearchStats struct {
+	Searches int64
+	Settled  int64
+}
+
+// Searcher is reusable scratch state for graph searches: epoch-stamped
+// visited/distance arrays (O(1) logical reset between searches), index-based
+// binary heaps of (vertex, dist) pairs, and result buffers. The label state
+// exists twice — a forward and a backward set — so the bidirectional
+// point-to-point kernels (DijkstraTarget, PathTo) run both frontiers out of
+// one scratch object. A Searcher performs zero steady-state allocations:
+// after it has grown to the largest graph it has seen, every search reuses
+// the same memory.
+//
+// Kernels whose topology argument is the concrete *Frozen take a
+// devirtualized fast path that walks the CSR (offset, degree) row table and
+// halfedge slab directly, with no interface call per settled vertex; the
+// generic loop serves *Graph and any other Topology. The dispatch happens
+// once per search.
+//
+// A Searcher is not safe for concurrent use; give each goroutine its own
+// (see metrics.StretchParallel) or use the package-level pool via the
+// Graph.Dijkstra* convenience methods. The graphs passed to a Searcher's
+// methods may differ call to call — the scratch arrays grow to the largest
+// vertex count seen.
+type Searcher struct {
+	epoch uint32
+	seen  []uint32 // seen[v] == epoch: forward label of v is valid this search
+	done  []uint32 // done[v] == epoch: v is settled (single-frontier kernels)
+	dist  []float64
+	hops  []int32
+	prev  []int32
+	heap  []heapItem
+	// Backward-frontier label set, used only by the bidirectional kernels.
+	// Stamped with the same epoch as the forward set.
+	seenB []uint32
+	distB []float64
+	prevB []int32
+	heapB []heapItem
+	ball  []VertexDist
+	queue []int32
+	stats SearchStats
+}
+
+// NewSearcher returns a Searcher pre-sized for graphs of n vertices.
+func NewSearcher(n int) *Searcher {
+	s := &Searcher{}
+	s.grow(n)
+	return s
+}
+
+// Stats returns the accumulated work counters.
+func (s *Searcher) Stats() SearchStats { return s.stats }
+
+// ResetStats zeroes the work counters.
+func (s *Searcher) ResetStats() { s.stats = SearchStats{} }
+
+// grow resizes the scratch arrays for graphs of n vertices.
+func (s *Searcher) grow(n int) {
+	s.seen = make([]uint32, n)
+	s.done = make([]uint32, n)
+	s.dist = make([]float64, n)
+	s.hops = make([]int32, n)
+	s.prev = make([]int32, n)
+	s.seenB = make([]uint32, n)
+	s.distB = make([]float64, n)
+	s.prevB = make([]int32, n)
+	s.epoch = 0
+}
+
+// begin starts a new search over an n-vertex graph: one counter bump
+// invalidates every stamp from previous searches.
+func (s *Searcher) begin(n int) {
+	if len(s.seen) < n {
+		s.grow(n)
+	}
+	s.epoch++
+	if s.epoch == 0 { // stamp wrap-around: stale stamps could collide
+		clear(s.seen)
+		clear(s.done)
+		clear(s.seenB)
+		s.epoch = 1
+	}
+	s.heap = s.heap[:0]
+}
+
+// label relaxes v to forward distance d, reporting whether that improved
+// its label.
 func (s *Searcher) label(v int, d float64) bool {
 	if s.seen[v] == s.epoch && s.dist[v] <= d {
 		return false
@@ -124,105 +164,64 @@ func (s *Searcher) label(v int, d float64) bool {
 	return true
 }
 
-// DijkstraTarget returns the shortest-path distance from src to dst in g,
-// abandoning the search once all frontier labels exceed bound. The boolean
-// result reports whether a path of length at most bound exists.
-func (s *Searcher) DijkstraTarget(g Topology, src, dst int, bound float64) (float64, bool) {
+// DijkstraTargetUni is the unidirectional bounded point-to-point kernel:
+// the shortest-path distance from src to dst in g, abandoning the search
+// once all frontier labels exceed bound; the boolean reports whether a path
+// of length at most bound exists. It settles the full distance ball around
+// src up to min(d(src,dst), bound).
+//
+// The production kernel is the bidirectional DijkstraTarget, which answers
+// the same query while settling roughly half the vertices (two half-radius
+// balls); this one is retained as the independent reference the
+// differential tests and the settled-work comparison (Stats) pin the
+// bidirectional kernel against.
+func (s *Searcher) DijkstraTargetUni(g Topology, src, dst int, bound float64) (float64, bool) {
 	if src == dst {
 		return 0, true
 	}
+	s.stats.Searches++
 	s.begin(g.N())
 	s.label(src, 0)
-	s.push(0, int32(src))
+	heapPush(&s.heap, 0, int32(src))
 	for len(s.heap) > 0 {
-		it := s.pop()
+		it := heapPop(&s.heap)
 		v := int(it.v)
 		if s.done[v] == s.epoch {
 			continue
 		}
+		s.stats.Settled++
 		if v == dst {
 			return it.dist, true
 		}
 		s.done[v] = s.epoch
 		for _, h := range g.Neighbors(v) {
 			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
-				s.push(nd, int32(h.To))
+				heapPush(&s.heap, nd, int32(h.To))
 			}
 		}
 	}
 	return Inf, false
 }
 
-// Ball runs a bounded Dijkstra from src and returns every vertex within
-// distance bound (inclusive) with its distance, in settling order. The
-// returned slice is owned by the Searcher and valid only until its next
-// search; callers that need to keep it must copy.
-func (s *Searcher) Ball(g Topology, src int, bound float64) []VertexDist {
-	s.begin(g.N())
-	s.ball = s.ball[:0]
-	s.label(src, 0)
-	s.push(0, int32(src))
-	for len(s.heap) > 0 {
-		it := s.pop()
-		v := int(it.v)
-		if s.done[v] == s.epoch {
-			continue
-		}
-		s.done[v] = s.epoch
-		s.ball = append(s.ball, VertexDist{V: v, D: it.dist})
-		for _, h := range g.Neighbors(v) {
-			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
-				s.push(nd, int32(h.To))
-			}
-		}
-	}
-	return s.ball
-}
-
-// Dijkstra fills out with the shortest-path distance from src to every
-// vertex (Inf for unreachable ones), skipping expansion beyond bound.
-// len(out) must be g.N().
-func (s *Searcher) Dijkstra(g Topology, src int, bound float64, out []float64) {
-	s.begin(g.N())
-	for i := range out {
-		out[i] = Inf
-	}
-	s.label(src, 0)
-	s.push(0, int32(src))
-	for len(s.heap) > 0 {
-		it := s.pop()
-		v := int(it.v)
-		if s.done[v] == s.epoch {
-			continue
-		}
-		s.done[v] = s.epoch
-		out[v] = it.dist
-		for _, h := range g.Neighbors(v) {
-			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
-				s.push(nd, int32(h.To))
-			}
-		}
-	}
-}
-
-// PathTo returns the vertex sequence of a shortest src→dst path of length
-// at most bound, with its length. The path slice is freshly allocated (it
-// outlives the next search); scratch state is still reused.
-func (s *Searcher) PathTo(g Topology, src, dst int, bound float64) ([]int, float64, bool) {
+// PathToUni is the unidirectional counterpart of PathTo, retained (like
+// DijkstraTargetUni) as the reference kernel for differential tests. The
+// path slice is freshly allocated; scratch state is reused.
+func (s *Searcher) PathToUni(g Topology, src, dst int, bound float64) ([]int, float64, bool) {
 	if src == dst {
 		return []int{src}, 0, true
 	}
+	s.stats.Searches++
 	s.begin(g.N())
 	s.label(src, 0)
 	s.prev[src] = -1
-	s.push(0, int32(src))
+	heapPush(&s.heap, 0, int32(src))
 	for len(s.heap) > 0 {
-		it := s.pop()
+		it := heapPop(&s.heap)
 		v := int(it.v)
 		if s.done[v] == s.epoch {
 			continue
 		}
-		s.done[v] = s.epoch
+		s.stats.Settled++
 		if v == dst {
 			var path []int
 			for x := int32(dst); x != -1; x = s.prev[x] {
@@ -233,14 +232,125 @@ func (s *Searcher) PathTo(g Topology, src, dst int, bound float64) ([]int, float
 			}
 			return path, it.dist, true
 		}
+		s.done[v] = s.epoch
 		for _, h := range g.Neighbors(v) {
 			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
 				s.prev[h.To] = int32(v)
-				s.push(nd, int32(h.To))
+				heapPush(&s.heap, nd, int32(h.To))
 			}
 		}
 	}
 	return nil, Inf, false
+}
+
+// Ball runs a bounded Dijkstra from src and returns every vertex within
+// distance bound (inclusive) with its distance, in settling order. The
+// returned slice is owned by the Searcher and valid only until its next
+// search; callers that need to keep it must copy.
+func (s *Searcher) Ball(g Topology, src int, bound float64) []VertexDist {
+	s.stats.Searches++
+	s.begin(g.N())
+	s.ball = s.ball[:0]
+	s.label(src, 0)
+	heapPush(&s.heap, 0, int32(src))
+	if f, ok := g.(*Frozen); ok {
+		s.ballFrozen(f, bound)
+	} else {
+		s.ballTopology(g, bound)
+	}
+	return s.ball
+}
+
+// ballTopology is the generic Ball loop.
+func (s *Searcher) ballTopology(g Topology, bound float64) {
+	settled := int64(0)
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		s.done[v] = s.epoch
+		settled++
+		s.ball = append(s.ball, VertexDist{V: v, D: it.dist})
+		for _, h := range g.Neighbors(v) {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				heapPush(&s.heap, nd, int32(h.To))
+			}
+		}
+	}
+	s.stats.Settled += settled
+}
+
+// ballFrozen is the Ball loop devirtualized over the CSR representation.
+func (s *Searcher) ballFrozen(f *Frozen, bound float64) {
+	settled := int64(0)
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		s.done[v] = s.epoch
+		settled++
+		s.ball = append(s.ball, VertexDist{V: v, D: it.dist})
+		r := f.rows[v]
+		for _, h := range f.slab[r.off : r.off+r.deg] {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				heapPush(&s.heap, nd, int32(h.To))
+			}
+		}
+	}
+	s.stats.Settled += settled
+}
+
+// Dijkstra fills out with the shortest-path distance from src to every
+// vertex (Inf for unreachable ones), skipping expansion beyond bound.
+// len(out) must be g.N().
+func (s *Searcher) Dijkstra(g Topology, src int, bound float64, out []float64) {
+	s.stats.Searches++
+	s.begin(g.N())
+	for i := range out {
+		out[i] = Inf
+	}
+	s.label(src, 0)
+	heapPush(&s.heap, 0, int32(src))
+	settled := int64(0)
+	if f, ok := g.(*Frozen); ok {
+		for len(s.heap) > 0 {
+			it := heapPop(&s.heap)
+			v := int(it.v)
+			if s.done[v] == s.epoch {
+				continue
+			}
+			s.done[v] = s.epoch
+			settled++
+			out[v] = it.dist
+			r := f.rows[v]
+			for _, h := range f.slab[r.off : r.off+r.deg] {
+				if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+					heapPush(&s.heap, nd, int32(h.To))
+				}
+			}
+		}
+	} else {
+		for len(s.heap) > 0 {
+			it := heapPop(&s.heap)
+			v := int(it.v)
+			if s.done[v] == s.epoch {
+				continue
+			}
+			s.done[v] = s.epoch
+			settled++
+			out[v] = it.dist
+			for _, h := range g.Neighbors(v) {
+				if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+					heapPush(&s.heap, nd, int32(h.To))
+				}
+			}
+		}
+	}
+	s.stats.Settled += settled
 }
 
 // HopsTo returns the hop distance (unweighted) from src to dst, with early
@@ -249,15 +359,47 @@ func (s *Searcher) HopsTo(g Topology, src, dst int) (int, bool) {
 	if src == dst {
 		return 0, true
 	}
+	s.stats.Searches++
 	s.begin(g.N())
 	s.queue = s.queue[:0]
 	s.queue = append(s.queue, int32(src))
 	s.seen[src] = s.epoch
 	s.hops[src] = 0
+	if f, ok := g.(*Frozen); ok {
+		return s.hopsFrozen(f, dst)
+	}
+	return s.hopsTopology(g, dst)
+}
+
+// hopsTopology is the generic BFS loop behind HopsTo.
+func (s *Searcher) hopsTopology(g Topology, dst int) (int, bool) {
 	for i := 0; i < len(s.queue); i++ {
 		v := s.queue[i]
 		hv := s.hops[v]
+		s.stats.Settled++
 		for _, h := range g.Neighbors(int(v)) {
+			if s.seen[h.To] == s.epoch {
+				continue
+			}
+			if h.To == dst {
+				return int(hv) + 1, true
+			}
+			s.seen[h.To] = s.epoch
+			s.hops[h.To] = hv + 1
+			s.queue = append(s.queue, int32(h.To))
+		}
+	}
+	return 0, false
+}
+
+// hopsFrozen is the BFS loop devirtualized over the CSR representation.
+func (s *Searcher) hopsFrozen(f *Frozen, dst int) (int, bool) {
+	for i := 0; i < len(s.queue); i++ {
+		v := s.queue[i]
+		hv := s.hops[v]
+		s.stats.Settled++
+		r := f.rows[v]
+		for _, h := range f.slab[r.off : r.off+r.deg] {
 			if s.seen[h.To] == s.epoch {
 				continue
 			}

@@ -42,14 +42,25 @@ func (g *Graph) DijkstraBounded(src int, bound float64) map[int]float64 {
 }
 
 // DijkstraTarget returns the shortest-path distance from src to dst,
-// abandoning the search once all frontier labels exceed bound. The boolean
-// result reports whether a path of length at most bound exists. This is the
-// primitive behind every greedy "is there a t-spanner path already?" query.
+// abandoning the search once no path of length at most bound can exist.
+// The boolean result reports whether a path of length at most bound
+// exists. Callers that only need the boolean should use ReachableWithin.
 func (g *Graph) DijkstraTarget(src, dst int, bound float64) (float64, bool) {
 	s := AcquireSearcher(g.n)
 	d, ok := s.DijkstraTarget(g, src, dst, bound)
 	ReleaseSearcher(s)
 	return d, ok
+}
+
+// ReachableWithin reports whether a path of length at most bound connects
+// src and dst — the existence form of DijkstraTarget (the search stops at
+// the first meeting within the bound). This is the primitive behind every
+// greedy "is there a t-spanner path already?" query.
+func (g *Graph) ReachableWithin(src, dst int, bound float64) bool {
+	s := AcquireSearcher(g.n)
+	ok := s.ReachableWithin(g, src, dst, bound)
+	ReleaseSearcher(s)
+	return ok
 }
 
 // BFSHops returns hop distances (unweighted) from src up to maxHops; vertices

@@ -14,8 +14,6 @@
 package greedy
 
 import (
-	"sort"
-
 	"topoctl/internal/graph"
 )
 
@@ -50,12 +48,15 @@ func Run(sp *graph.Graph, edges []graph.Edge, t float64) []graph.Edge {
 // the incremental repair passes of internal/dynamic, which replay the rule
 // over only the edges whose certifying paths a topology change may have
 // broken.
+//
+// The rule only needs existence, not the exact detour length, so it runs
+// on the bidirectional existence kernel (Searcher.ReachableWithin), which
+// stops at the first meeting within the bound.
 func Accept(s *graph.Searcher, sp *graph.Graph, e graph.Edge, t float64) bool {
 	if sp.HasEdge(e.U, e.V) {
 		return false
 	}
-	_, ok := s.DijkstraTarget(sp, e.U, e.V, t*e.W)
-	return !ok
+	return !s.ReachableWithin(sp, e.U, e.V, t*e.W)
 }
 
 // Spanner runs SEQ-GREEDY on g with stretch factor t and returns the
@@ -68,18 +69,12 @@ func Spanner(g graph.Topology, t float64) *graph.Graph {
 }
 
 // SortEdges sorts an edge slice in the canonical greedy order: by weight,
-// then (U, V) lexicographically for determinism.
+// then (U, V) lexicographically for determinism. It is the same order as
+// graph.SortEdgesCanonical and delegates to it (generic sort, no
+// reflection) — candidate sorting is on the SEQ-GREEDY and repair hot
+// paths.
 func SortEdges(edges []graph.Edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		a, b := edges[i], edges[j]
-		if a.W != b.W {
-			return a.W < b.W
-		}
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
-	})
+	graph.SortEdgesCanonical(edges)
 }
 
 // CliqueEdges returns all pairwise edges among the given members, weighted

@@ -21,12 +21,14 @@ import (
 // Checking only the edges of g is sufficient: any shortest path in g
 // decomposes into g-edges, so if every g-edge is t-spanned by sp then every
 // pair is (the standard spanner argument). Each edge query is a bounded
-// Dijkstra, so the cost is proportional to the number of edges times the
-// local ball size rather than n², which keeps exact verification feasible
-// throughout the test suite. Edge queries are independent, so they are
-// fanned out over a worker pool (one Searcher per worker); the result is
-// deterministic regardless of worker count because each per-edge value is
-// computed identically and max is order-independent.
+// bidirectional Dijkstra (two half-radius frontiers instead of one full
+// ball; the CSR fast path when sp is a *graph.Frozen), so the cost is
+// proportional to the number of edges times the local ball size rather
+// than n², which keeps exact verification feasible throughout the test
+// suite. Edge queries are independent, so they are fanned out over a
+// worker pool (one Searcher per worker); the result is deterministic
+// regardless of worker count because each per-edge value is computed
+// identically and max is order-independent.
 //
 // Both graphs must share a vertex set. If some edge's endpoints are
 // disconnected in sp the stretch is +Inf.

@@ -127,9 +127,11 @@ func (r *Router) RouteWith(srch *graph.Searcher, scheme Scheme, s, t int) (Route
 	}
 }
 
-// shortest routes along an exact shortest path (Dijkstra with parents).
+// shortest routes along an exact shortest path (bidirectional Dijkstra
+// with parents on both frontiers). AppendPathTo sizes the result exactly,
+// so a delivered route costs one allocation — the path the caller keeps.
 func (r *Router) shortest(srch *graph.Searcher, s, t int) Route {
-	path, cost, ok := srch.PathTo(r.g, s, t, graph.Inf)
+	path, cost, ok := srch.AppendPathTo(nil, r.g, s, t, graph.Inf)
 	if !ok {
 		return Route{Delivered: false, Path: []int{s}}
 	}

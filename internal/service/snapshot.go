@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 
 	"topoctl/internal/geom"
@@ -69,7 +70,14 @@ type RouteResult struct {
 
 // Route answers one route query against this frozen topology version.
 // src/dst must name live nodes (ErrUnknownNode otherwise). Results are
-// memoized in the snapshot's LRU cache keyed by (scheme, src, dst).
+// memoized in the snapshot's LRU cache keyed by (scheme, src, dst) — with
+// the endpoints canonicalized to (min, max) order for the shortest-path
+// scheme, which is symmetric on an undirected topology: one cache entry
+// then serves both query orientations (a flipped hit returns a reversed
+// copy of the cached path), doubling the cache's effective capacity. The
+// geographic schemes (greedy, compass) are direction-dependent — the
+// forwarding decision at each hop depends on which endpoint is the
+// destination — so their keys keep the requested orientation.
 func (s *Snapshot) Route(scheme routing.Scheme, src, dst int) (RouteResult, error) {
 	if err := s.checkNode(src); err != nil {
 		return RouteResult{}, err
@@ -79,9 +87,24 @@ func (s *Snapshot) Route(scheme routing.Scheme, src, dst int) (RouteResult, erro
 	}
 	s.ctr.routes.Add(1)
 	key := routeKey{scheme: scheme, src: int32(src), dst: int32(dst)}
+	flipped := false
+	if scheme == routing.SchemeShortestPath && src > dst {
+		key.src, key.dst = key.dst, key.src
+		flipped = true
+	}
 	if r, ok := s.cache.get(key); ok {
 		if r.Route.Delivered {
 			s.ctr.delivered.Add(1)
+		}
+		if flipped {
+			// A delivered path reverses; an undelivered shortest-path route
+			// carries only its source (deliverability is symmetric, the
+			// failure prefix is not), which must be this query's source.
+			if r.Route.Delivered {
+				r.Route.Path = reversedPath(r.Route.Path)
+			} else {
+				r.Route.Path = []int{src}
+			}
 		}
 		r.Cached = true
 		return r, nil
@@ -106,8 +129,29 @@ func (s *Snapshot) Route(scheme routing.Scheme, src, dst int) (RouteResult, erro
 		}
 	}
 	s.release(srch)
-	s.cache.put(key, res)
+	// Store in canonical orientation: cost, stretch, and deliverability are
+	// symmetric for shortest-path routes, only the path direction flips
+	// (and an undelivered route's single-vertex failure prefix becomes the
+	// canonical source).
+	stored := res
+	if flipped {
+		if res.Route.Delivered {
+			stored.Route.Path = reversedPath(res.Route.Path)
+		} else {
+			stored.Route.Path = []int{dst}
+		}
+	}
+	s.cache.put(key, stored)
 	return res, nil
+}
+
+// reversedPath returns a reversed copy of path. Cached paths are shared
+// with every reader that hits the entry, so the reversal must not happen
+// in place.
+func reversedPath(path []int) []int {
+	out := slices.Clone(path)
+	slices.Reverse(out)
+	return out
 }
 
 // Neighbor is one spanner adjacency of a queried node.
