@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-json bench-save bench-compare serve-smoke ci
+.PHONY: all build check vet fmt test race bench bench-json bench-save bench-compare serve-smoke recover-smoke ci
 
 all: check
 
@@ -26,10 +26,12 @@ check: vet fmt test
 
 # Race-detector pass over the packages that exercise concurrency
 # (parallel stretch verification, pooled searchers, parallel experiment
-# reps), the dynamic engine, and the serving layer, whose stress test runs
-# ≥8 concurrent readers against a live mutator.
+# reps), the dynamic engine, the serving layer — whose stress tests run
+# ≥8 concurrent readers against a live mutator and slam Close into live
+# Mutate/Route traffic — and the WAL + replication layer, whose stream
+# subscribers race the log writer.
 race:
-	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ ./internal/service/ .
+	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ ./internal/service/ ./internal/wal/ ./internal/replica/ .
 
 # Benchmark smoke: one iteration of each micro-benchmark with allocation
 # accounting, to catch perf regressions that change allocs/op.
@@ -96,4 +98,45 @@ serve-smoke:
 	curl -fsS http://$(SMOKE_ADDR)/stats; \
 	echo "serve-smoke OK"
 
-ci: check race bench serve-smoke
+# Crash-recovery smoke of the durable daemon: boot it with a WAL, mutate,
+# kill -9 (no shutdown path at all), restart on the same directory, and
+# assert the acknowledged epoch survived and routes still answer. This is
+# the scripted version of the kill-recover loop the replica tests run
+# in-process with fault injection.
+RECOVER_ADDR ?= 127.0.0.1:7081
+recover-smoke:
+	@set -e; \
+	bin=$$(mktemp -t topoctld.XXXXXX); \
+	$(GO) build -o $$bin ./cmd/topoctld; \
+	waldir=$$(mktemp -d -t topoctl-wal.XXXXXX); \
+	log=$$(mktemp -t topoctld-log.XXXXXX); \
+	$$bin serve -addr $(RECOVER_ADDR) -n 64 -seed 1 -wal $$waldir -fsync always >$$log 2>&1 & \
+	pid=$$!; \
+	trap "kill -9 $$pid 2>/dev/null || true; rm -rf $$bin $$log $$waldir" EXIT; \
+	ok=0; i=0; while [ $$i -lt 50 ]; do \
+		if curl -fsS http://$(RECOVER_ADDR)/readyz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; i=$$((i+1)); \
+	done; \
+	if [ $$ok -ne 1 ]; then echo "daemon never became ready:"; cat $$log; exit 1; fi; \
+	ver=$$(curl -fsS -X POST -d '{"ops":[{"op":"move","id":5,"point":[1.0,1.0]},{"op":"leave","id":7}]}' \
+		http://$(RECOVER_ADDR)/mutate | grep -o '"version":[0-9]*' | head -1 | cut -d: -f2); \
+	if [ -z "$$ver" ]; then echo "mutation did not report a version"; cat $$log; exit 1; fi; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	$$bin serve -addr $(RECOVER_ADDR) -n 64 -seed 1 -wal $$waldir -fsync always >>$$log 2>&1 & \
+	pid=$$!; \
+	ok=0; i=0; while [ $$i -lt 50 ]; do \
+		if curl -fsS http://$(RECOVER_ADDR)/readyz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; i=$$((i+1)); \
+	done; \
+	if [ $$ok -ne 1 ]; then echo "daemon never recovered:"; cat $$log; exit 1; fi; \
+	got=$$(curl -fsS http://$(RECOVER_ADDR)/stats | grep -o '"version":[0-9]*' | head -1 | cut -d: -f2); \
+	if [ "$$got" != "$$ver" ]; then \
+		echo "recovered at version $$got, want acknowledged $$ver"; cat $$log; exit 1; \
+	fi; \
+	curl -fsS -X POST -d '{"scheme":"shortest-path","src":0,"dst":13}' http://$(RECOVER_ADDR)/route; \
+	if ! grep -q "recovered epoch $$ver" $$log; then \
+		echo "recovery log line missing:"; cat $$log; exit 1; \
+	fi; \
+	echo "recover-smoke OK (epoch $$ver survived kill -9)"
+
+ci: check race bench serve-smoke recover-smoke

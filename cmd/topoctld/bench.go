@@ -63,7 +63,7 @@ func cmdBench(args []string) error {
 		if err != nil {
 			return err
 		}
-		srv := newHTTPServer(svc)
+		srv := newHTTPServer(svc.Handler())
 		go srv.Serve(ln)
 		defer srv.Close()
 		base = "http://" + ln.Addr().String()

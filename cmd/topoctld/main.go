@@ -5,13 +5,16 @@
 //
 // Subcommands:
 //
-//	serve  start the daemon
-//	bench  drive a running daemon with a concurrent zipfian route workload
+//	serve   start the daemon (leader; with -wal, durable and replicable)
+//	follow  start a read-only follower replicating a leader's WAL
+//	bench   drive a running daemon with a concurrent zipfian route workload
 //
 // Examples:
 //
 //	topoctld serve -addr :7077 -n 512 -seed 1
 //	topoctld serve -addr :7077 -in net.topo.gz -t 1.5
+//	topoctld serve -addr :7077 -wal /var/lib/topoctl/wal -fsync always
+//	topoctld follow -addr :7078 -leader http://127.0.0.1:7077
 //	topoctld bench -addr http://127.0.0.1:7077 -clients 32 -duration 5s
 //	topoctld bench -self -n 512 -clients 32 -duration 5s -mutate 50
 //
@@ -32,10 +35,13 @@ import (
 	"syscall"
 	"time"
 
+	"topoctl/internal/dynamic"
 	"topoctl/internal/geom"
 	"topoctl/internal/netio"
+	"topoctl/internal/replica"
 	"topoctl/internal/service"
 	"topoctl/internal/ubg"
+	"topoctl/internal/wal"
 )
 
 func main() {
@@ -49,6 +55,8 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "follow":
+		err = cmdFollow(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
@@ -64,11 +72,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: topoctld <serve|bench> [flags]
-  serve  [-addr :7077] [-in FILE(.gz) | -n N -d D -deg DEG -seed S] [-t T] [-radius R] [-cache C]
-         start the daemon; without -in a uniform deployment of N nodes is generated
-  bench  [-addr URL | -self [serve flags]] [-clients C] [-duration D] [-zipf S] [-scheme NAME] [-mutate OPS/S]
-         drive a daemon with C concurrent zipfian clients and report QPS + latency percentiles`)
+	fmt.Fprintln(os.Stderr, `usage: topoctld <serve|follow|bench> [flags]
+  serve   [-addr :7077] [-in FILE(.gz) | -n N -d D -deg DEG -seed S] [-t T] [-radius R] [-cache C]
+          [-wal DIR] [-fsync always|interval|never] [-checkpoint-every N]
+          start the daemon; without -in a uniform deployment of N nodes is generated.
+          With -wal every mutation batch is logged durably and recovered on restart,
+          and followers may replicate from GET /wal/checkpoint + /wal/stream
+  follow  [-addr :7078] -leader URL [-cache C]
+          start a read-only follower that replicates the leader's WAL stream;
+          /readyz answers 503 until the first snapshot has been applied
+  bench   [-addr URL | -self [serve flags]] [-clients C] [-duration D] [-zipf S] [-scheme NAME] [-mutate OPS/S]
+          drive a daemon with C concurrent zipfian clients and report QPS + latency percentiles`)
 }
 
 // serveFlags configures the daemon core (shared by serve and bench -self;
@@ -134,40 +148,139 @@ func (sf *serveFlags) newService() (*service.Service, error) {
 	})
 }
 
-// newHTTPServer wraps the service handler with the timeouts a long-lived
-// daemon needs: slow or idle clients must not pin goroutines and file
-// descriptors forever.
-func newHTTPServer(svc *service.Service) *http.Server {
+// newHTTPServer wraps a handler with the timeouts a long-lived daemon
+// needs: slow or idle clients must not pin goroutines and file
+// descriptors forever. ReadTimeout is header-only via ReadHeaderTimeout;
+// no WriteTimeout because /wal/stream connections are deliberately
+// long-lived.
+func newHTTPServer(h http.Handler) *http.Server {
 	return &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 }
 
+// walFlags are the durability flags on serve.
+type walFlags struct {
+	dir       string
+	fsync     string
+	ckptEvery int
+}
+
+func addWalFlags(fs *flag.FlagSet) *walFlags {
+	wf := &walFlags{}
+	fs.StringVar(&wf.dir, "wal", "", "write-ahead-log directory; empty disables durability")
+	fs.StringVar(&wf.fsync, "fsync", "always", "WAL fsync policy: always|interval|never")
+	fs.IntVar(&wf.ckptEvery, "checkpoint-every", 64, "full-snapshot checkpoint every N logged frames")
+	return wf
+}
+
+// buildLeader constructs the serving core, durable when -wal is set: an
+// existing log recovers the pre-crash topology (ignoring -in/-n), a fresh
+// directory bootstraps a genesis checkpoint from the initial deployment.
+// The returned leader is nil without -wal.
+func buildLeader(sf *serveFlags, wf *walFlags) (*service.Service, *replica.Leader, http.Handler, error) {
+	if wf.dir == "" {
+		svc, err := sf.newService()
+		return svc, nil, svc.Handler(), err
+	}
+	policy, err := wal.ParseSyncPolicy(wf.fsync)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec, recovered, err := wal.Open(wal.Options{Dir: wf.dir, Sync: policy, CheckpointEvery: wf.ckptEvery})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ld := replica.NewLeader(rec, recovered)
+	opts := service.Options{
+		T: sf.t, Radius: sf.radius, Dim: sf.d,
+		CacheSize: sf.cache, StretchSample: sf.sample, Seed: sf.seed,
+		OnPublish: ld.OnPublish,
+	}
+	var svc *service.Service
+	if recovered != nil {
+		// The log is the source of truth: its geometry parameters win over
+		// the flags, and the version sequence continues at the recovered
+		// epoch.
+		side := recovered.Clone()
+		eng, err := dynamic.Restore(side.Points, side.Alive, side.Base.Thaw(), side.Spanner.Thaw(),
+			dynamic.Options{T: recovered.T, Radius: recovered.Radius, Dim: recovered.Dim})
+		if err != nil {
+			rec.Close(nil)
+			return nil, nil, nil, fmt.Errorf("wal recovery: %w", err)
+		}
+		opts.InitialVersion = recovered.Epoch
+		svc, err = service.NewFromEngine(eng, opts)
+		if err != nil {
+			rec.Close(nil)
+			return nil, nil, nil, err
+		}
+		log.Printf("recovered epoch %d from %s (%d live nodes)", recovered.Epoch, wf.dir, recovered.Live)
+	} else {
+		pts, err := sf.points()
+		if err != nil {
+			rec.Close(nil)
+			return nil, nil, nil, err
+		}
+		svc, err = service.New(pts, opts)
+		if err != nil {
+			rec.Close(nil)
+			return nil, nil, nil, err
+		}
+		snap := svc.Snapshot()
+		dim := sf.d
+		if len(snap.Points) > 0 {
+			dim = snap.Points[0].Dim()
+		}
+		if err := ld.Genesis(sf.t, sf.radius, dim, snap); err != nil {
+			svc.Close()
+			rec.Close(nil)
+			return nil, nil, nil, err
+		}
+		log.Printf("bootstrapped WAL in %s at epoch %d", wf.dir, snap.Version)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("GET /wal/checkpoint", rec.HandleCheckpoint)
+	mux.HandleFunc("GET /wal/stream", rec.HandleStream)
+	return svc, ld, mux, nil
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7077", "listen address")
 	sf := addServeFlags(fs)
+	wf := addWalFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc, err := sf.newService()
+	svc, ld, handler, err := buildLeader(sf, wf)
 	if err != nil {
 		return err
 	}
-	defer svc.Close()
+	// Shutdown order matters: the service stops its writer first, then the
+	// leader writes the final checkpoint and closes the recorder.
+	closeAll := func() error {
+		svc.Close()
+		if ld != nil {
+			return ld.Close()
+		}
+		return nil
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		closeAll()
 		return err
 	}
 	st := svc.Stats()
 	log.Printf("serving on %s: %d nodes, %d base links, %d spanner links (t=%.3g, max degree %d)",
 		ln.Addr(), st.Nodes, st.BaseEdges, st.SpannerEdges, st.StretchBound, st.MaxDegree)
 
-	srv := newHTTPServer(svc)
+	srv := newHTTPServer(handler)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -175,11 +288,70 @@ func cmdServe(args []string) error {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		closeAll()
 		return err
 	case sig := <-sigc:
 		log.Printf("received %v, shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		serr := srv.Shutdown(ctx)
+		if cerr := closeAll(); cerr != nil {
+			return cerr
+		}
+		return serr
+	}
+}
+
+func cmdFollow(args []string) error {
+	fs := flag.NewFlagSet("follow", flag.ExitOnError)
+	addr := fs.String("addr", ":7078", "listen address")
+	leader := fs.String("leader", "", "leader base URL (required), e.g. http://127.0.0.1:7077")
+	cache := fs.Int("cache", 8192, "route cache capacity per snapshot")
+	sample := fs.Int("stretch-sample", 256, "base-edge sample size for the /stats stretch estimate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *leader == "" {
+		return fmt.Errorf("follow: -leader is required")
+	}
+	fol := service.NewFollower(service.Options{CacheSize: *cache, StretchSample: *sample})
+	defer fol.Close()
+	cl, err := replica.New(replica.Options{
+		Leader:  *leader,
+		Service: fol,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); cl.Run(ctx) }()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("following %s on %s (read-only; /readyz gates on the first applied snapshot)", *leader, ln.Addr())
+
+	srv := newHTTPServer(fol.Handler())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		cancel()
+		<-done
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		cancel()
+		<-done
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		return srv.Shutdown(sctx)
 	}
 }

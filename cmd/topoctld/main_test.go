@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -28,6 +29,13 @@ func buildBinary(t *testing.T) string {
 	}
 	return bin
 }
+
+// daemons maps a running daemon's base URL to its process so tests can
+// kill one abruptly (crash-recovery scenarios).
+var (
+	daemonsMu sync.Mutex
+	daemons   = map[string]*exec.Cmd{}
+)
 
 // startDaemon launches the daemon on an ephemeral port and waits for
 // /healthz, returning the base URL.
@@ -77,6 +85,9 @@ func startDaemon(t *testing.T, bin string, extra ...string) string {
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
+				daemonsMu.Lock()
+				daemons[base] = cmd
+				daemonsMu.Unlock()
 				return base
 			}
 		}
@@ -185,6 +196,164 @@ func TestDaemonServesGzipInstance(t *testing.T) {
 	if st["nodes"].(float64) != 48 {
 		t.Fatalf("daemon loaded %v nodes from %s, want 48", st["nodes"], gz)
 	}
+}
+
+// TestDaemonWALRecoveryAndFollower boots the real binary with a WAL,
+// mutates, kills it with SIGKILL, restarts on the same directory, and
+// asserts the acknowledged version survived. A follower process then
+// replicates the recovered leader; its /readyz flips from 503 to 200
+// once the first snapshot is applied.
+func TestDaemonWALRecoveryAndFollower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and boots daemons")
+	}
+	bin := buildBinary(t)
+	walDir := t.TempDir()
+
+	base := startDaemon(t, bin, "-wal", walDir, "-fsync", "always")
+	resp, err := http.Post(base+"/mutate", "application/json",
+		strings.NewReader(`{"ops":[{"op":"move","id":5,"point":[1.0,1.0]},{"op":"leave","id":9}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mres map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&mres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	acked := mres["version"].(float64)
+	if acked < 2 {
+		t.Fatalf("mutate = %v", mres)
+	}
+
+	// SIGKILL: no shutdown path runs; the fsync-per-mutation log is all
+	// that survives.
+	killDaemon(t, base)
+
+	base2 := startDaemon(t, bin, "-wal", walDir, "-fsync", "always")
+	var st map[string]any
+	resp, err = http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st["version"].(float64) != acked {
+		t.Fatalf("recovered at version %v, want acknowledged %v", st["version"], acked)
+	}
+
+	// A follower replicating the recovered leader.
+	folBase := startFollowerDaemon(t, bin, base2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(folBase + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fst map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&fst); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v, _ := fst["version"].(float64); v >= acked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reached version %v", acked)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Ready now; and followers refuse writes.
+	resp, err = http.Get(folBase + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower /readyz after catch-up: %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Post(folBase+"/mutate", "application/json",
+		strings.NewReader(`{"ops":[{"op":"move","id":1,"point":[0.5,0.5]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower POST /mutate: %d, want 503", resp.StatusCode)
+	}
+}
+
+// killDaemon SIGKILLs the daemon serving base (looked up from the
+// registry startDaemon maintains) and waits for the port to die.
+func killDaemon(t *testing.T, base string) {
+	t.Helper()
+	daemonsMu.Lock()
+	cmd := daemons[base]
+	delete(daemons, base)
+	daemonsMu.Unlock()
+	if cmd == nil {
+		t.Fatalf("no daemon registered for %s", base)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+}
+
+// startFollowerDaemon launches `topoctld follow` against leader and waits
+// for /readyz — which must answer 503 (not refuse connections) while the
+// follower is still bootstrapping.
+func startFollowerDaemon(t *testing.T, bin, leader string) string {
+	t.Helper()
+	cmd := exec.Command(bin, "follow", "-addr", "127.0.0.1:0", "-leader", leader)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	})
+	// "following URL on 127.0.0.1:NNN ..." reports the bound address.
+	var addr string
+	buf := make([]byte, 4096)
+	deadline := time.Now().Add(10 * time.Second)
+	var logged strings.Builder
+	for addr == "" && time.Now().Before(deadline) {
+		n, rerr := stderr.Read(buf)
+		if n > 0 {
+			logged.Write(buf[:n])
+			if i := strings.Index(logged.String(), " on 127.0.0.1:"); i >= 0 {
+				rest := logged.String()[i+len(" on "):]
+				if j := strings.IndexAny(rest, " \n("); j >= 0 {
+					addr = rest[:j]
+				}
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("follower never reported its address; log so far:\n%s", logged.String())
+	}
+	base := "http://" + addr
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			// 503 while bootstrapping and 200 after are both proof of life.
+			if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusServiceUnavailable {
+				return base
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("follower at %s never answered /readyz", base)
+	return ""
 }
 
 // TestCLIErrors: bad usage must exit non-zero.

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall smoke-tests the walkthrough at a small instance size.
+func TestRunSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 64); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"leader up: 64 nodes",
+		"12 mutation batches logged",
+		"follower caught up at epoch",
+		"identical: true",
+		"leader killed without shutdown",
+		"matches pre-crash: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

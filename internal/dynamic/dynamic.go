@@ -40,6 +40,7 @@ package dynamic
 
 import (
 	"fmt"
+	"sort"
 
 	"topoctl/internal/core"
 	"topoctl/internal/geom"
@@ -128,6 +129,7 @@ type Engine struct {
 	// published slot metadata so a no-op export returns identical values.
 	touched      map[int]struct{}
 	touchScratch []int
+	lastTouched  []int
 	expBase      *graph.Frozen
 	expSp        *graph.Frozen
 	expPoints    []geom.Point
@@ -211,6 +213,9 @@ func (e *Engine) addBaseEdges(id int) {
 // N returns the live node count.
 func (e *Engine) N() int { return e.n }
 
+// Dim returns the embedding dimension.
+func (e *Engine) Dim() int { return e.dim }
+
 // Alive reports whether slot id currently holds a live node.
 func (e *Engine) Alive(id int) bool {
 	return id >= 0 && id < len(e.alive) && e.alive[id]
@@ -284,6 +289,7 @@ func (e *Engine) Export() (points []geom.Point, alive []bool, base, sp *graph.Gr
 // read-only, like everything else returned here.
 func (e *Engine) ExportFrozen() (points []geom.Point, alive []bool, base, sp *graph.Frozen) {
 	if e.exportClean && e.expBase != nil {
+		e.lastTouched = e.lastTouched[:0]
 		return e.expPoints, e.expAlive, e.expBase, e.expSp
 	}
 	e.touchScratch = e.touchScratch[:0]
@@ -294,10 +300,20 @@ func (e *Engine) ExportFrozen() (points []geom.Point, alive []bool, base, sp *gr
 	e.expSp = graph.UpdateFrozen(e.expSp, e.sp, e.touchScratch)
 	e.expPoints = append([]geom.Point(nil), e.points...)
 	e.expAlive = append([]bool(nil), e.alive...)
+	e.lastTouched = append(e.lastTouched[:0], e.touchScratch...)
+	sort.Ints(e.lastTouched)
 	clear(e.touched)
 	e.exportClean = true
 	return e.expPoints, e.expAlive, e.expBase, e.expSp
 }
+
+// LastExportTouched returns the vertices whose adjacency rows the most
+// recent ExportFrozen re-froze, sorted ascending — the row set a WAL
+// delta frame must carry so a replica applying it reproduces the export
+// exactly. Empty when the latest export republished the previous
+// snapshot unchanged. The slice is engine-owned scratch, valid until the
+// next ExportFrozen.
+func (e *Engine) LastExportTouched() []int { return e.lastTouched }
 
 // Options returns the normalized engine options.
 func (e *Engine) Options() Options { return e.opts }

@@ -1,0 +1,579 @@
+package replica_test
+
+import (
+	"bytes"
+	"context"
+
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"topoctl/internal/dynamic"
+	"topoctl/internal/geom"
+	"topoctl/internal/metrics"
+	"topoctl/internal/replica"
+	"topoctl/internal/routing"
+	"topoctl/internal/service"
+	"topoctl/internal/ubg"
+	"topoctl/internal/wal"
+	"topoctl/internal/wal/faultfs"
+)
+
+const (
+	testT      = 1.6
+	testRadius = 1.0
+)
+
+// bodyLog records the canonical state body at every epoch, on both
+// sides of the replication link.
+type bodyLog struct {
+	mu     sync.Mutex
+	bodies map[uint64][]byte
+}
+
+func newBodyLog() *bodyLog { return &bodyLog{bodies: map[uint64][]byte{}} }
+
+func (b *bodyLog) add(epoch uint64, body []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bodies[epoch] = body
+}
+
+func (b *bodyLog) get(epoch uint64) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bodies[epoch]
+}
+
+func (b *bodyLog) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.bodies)
+}
+
+func testPoints(n int) []geom.Point {
+	side := ubg.DensitySide(n, 2, 1, 8)
+	return geom.GeneratePoints(geom.CloudConfig{
+		Kind: geom.CloudUniform, N: n, Dim: 2, Side: side, Seed: 991,
+	})
+}
+
+// leaderHarness is a leader service with an attached WAL recorder and
+// replication endpoints, plus a per-epoch body log.
+type leaderHarness struct {
+	svc    *service.Service
+	ld     *replica.Leader
+	rec    *wal.Recorder
+	bodies *bodyLog
+	mux    *http.ServeMux
+}
+
+// startLeader boots (or recovers) a leader over fs. pts seeds a fresh
+// deployment; on recovery the WAL state wins and pts is ignored.
+func startLeader(t *testing.T, fs wal.FS, pts []geom.Point, walOpts wal.Options) *leaderHarness {
+	t.Helper()
+	if walOpts.Dir == "" {
+		walOpts.Dir = "wal"
+	}
+	walOpts.FS = fs
+	rec, recovered, err := wal.Open(walOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := replica.NewLeader(rec, recovered)
+	bodies := newBodyLog()
+	opts := service.Options{
+		T: testT, Radius: testRadius,
+		OnPublish: func(snap *service.Snapshot, applied []service.Op, touched []int) {
+			ld.OnPublish(snap, applied, touched)
+			if st := ld.State(); st != nil {
+				bodies.add(st.Epoch, st.Encode())
+			}
+		},
+	}
+	var svc *service.Service
+	if recovered != nil {
+		side := recovered.Clone()
+		eng, err := dynamic.Restore(side.Points, side.Alive, side.Base.Thaw(), side.Spanner.Thaw(),
+			dynamic.Options{T: recovered.T, Radius: recovered.Radius, Dim: recovered.Dim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.InitialVersion = recovered.Epoch
+		svc, err = service.NewFromEngine(eng, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies.add(recovered.Epoch, recovered.Encode())
+	} else {
+		svc, err = service.New(pts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ld.Genesis(testT, testRadius, 2, svc.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		bodies.add(svc.Snapshot().Version, ld.State().Encode())
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("GET /wal/checkpoint", rec.HandleCheckpoint)
+	mux.HandleFunc("GET /wal/stream", rec.HandleStream)
+	return &leaderHarness{svc: svc, ld: ld, rec: rec, bodies: bodies, mux: mux}
+}
+
+// churn applies n random mutation batches (joins, leaves, moves).
+func churn(t *testing.T, svc *service.Service, rng *rand.Rand, n int) {
+	t.Helper()
+	snap := svc.Snapshot()
+	slots := len(snap.Alive)
+	side := ubg.DensitySide(48, 2, 1, 8)
+	for i := 0; i < n; i++ {
+		var op service.Op
+		switch rng.Intn(4) {
+		case 0:
+			op = service.Op{Kind: service.OpJoin, Point: geom.Point{rng.Float64() * side, rng.Float64() * side}}
+		case 1:
+			op = service.Op{Kind: service.OpLeave, ID: rng.Intn(slots)}
+		default:
+			op = service.Op{Kind: service.OpMove, ID: rng.Intn(slots),
+				Point: geom.Point{rng.Float64() * side, rng.Float64() * side}}
+		}
+		if _, err := svc.Mutate([]service.Op{op}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// startFollower spins up a follower service replicating from leaderURL.
+// The returned stop function is idempotent; call it (or let t.Cleanup)
+// before closing the leader's test server, or Close blocks on the open
+// stream connection.
+func startFollower(t *testing.T, leaderURL string, bodies *bodyLog) (*service.Service, func()) {
+	t.Helper()
+	fol := service.NewFollower(service.Options{})
+	cl, err := replica.New(replica.Options{
+		Leader:     leaderURL,
+		Service:    fol,
+		BackoffMin: 2 * time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+		OnApply: func(st *wal.State) {
+			if bodies != nil {
+				bodies.add(st.Epoch, st.Encode())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); cl.Run(ctx) }()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			<-done
+			fol.Close()
+		})
+	}
+	t.Cleanup(stop)
+	return fol, stop
+}
+
+// waitConnected blocks until the follower has a live frame stream, so a
+// subsequent churn is replicated frame by frame rather than absorbed
+// into the bootstrap checkpoint.
+func waitConnected(t *testing.T, fol *service.Service) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := fol.Stats(); st.Replica != nil && st.Replica.Connected {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("follower never connected")
+}
+
+func waitForEpoch(t *testing.T, svc *service.Service, epoch uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap := svc.Snapshot(); snap != nil && snap.Version >= epoch {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("follower never reached epoch %d", epoch)
+}
+
+// TestFollowerByteIdentical is the differential proof: under churn, the
+// follower's canonical state body matches the leader's shadow state
+// byte for byte at every single epoch it applies.
+func TestFollowerByteIdentical(t *testing.T) {
+	// Retain covers the whole test so the follower never falls out of the
+	// window: every epoch after its bootstrap point must be applied and
+	// compared, whether it arrives as backlog or on the live tail.
+	h := startLeader(t, faultfs.New(), testPoints(48), wal.Options{Sync: wal.SyncAlways, CheckpointEvery: 16, Retain: 128})
+	ts := httptest.NewServer(h.mux)
+	defer ts.Close()
+	defer h.ld.Close() // ends open stream handlers so ts.Close can finish
+	defer h.svc.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	churn(t, h.svc, rng, 20) // some history before the follower appears
+	preChurn := h.ld.State().Epoch
+
+	folBodies := newBodyLog()
+	fol, stopFol := startFollower(t, ts.URL, folBodies)
+	defer stopFol()
+	waitConnected(t, fol)
+	churn(t, h.svc, rng, 40) // live churn while the follower streams
+
+	last := h.ld.State().Epoch
+	waitForEpoch(t, fol, last)
+	if err := h.ld.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	compared := 0
+	for e := uint64(1); e <= last; e++ {
+		want := h.bodies.get(e)
+		got := folBodies.get(e)
+		if got == nil {
+			continue // before the follower's bootstrap point
+		}
+		if want == nil {
+			t.Fatalf("epoch %d: follower applied an epoch the leader never logged", e)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("epoch %d: follower state body differs from leader", e)
+		}
+		compared++
+	}
+	// Not every churn op commits a new epoch (a leave of a dead slot is a
+	// no-op), so the bar is the live-churn window actually published.
+	if want := int(last - preChurn); compared < want || want == 0 {
+		t.Fatalf("compared %d epochs, want at least the %d live-churn epochs", compared, want)
+	}
+
+	// The follower must now answer routes on the identical topology.
+	snap := fol.Snapshot()
+	if snap.Version != last {
+		t.Fatalf("follower serves version %d, want %d", snap.Version, last)
+	}
+	res, err := fol.Route(routing.SchemeShortestPath, 0, 1)
+	if err == nil && res.Route.Delivered {
+		lres, lerr := h.svc.Route(routing.SchemeShortestPath, 0, 1)
+		if lerr != nil || lres.Route.Cost != res.Route.Cost {
+			t.Fatalf("follower route cost %v != leader %v (err %v)", res.Route.Cost, lres.Route.Cost, lerr)
+		}
+	}
+
+	// Replica status reports a caught-up, connected link.
+	st := fol.Stats()
+	if st.Replica == nil || !st.Replica.Connected || st.Replica.Lag != 0 {
+		t.Fatalf("replica status = %+v, want connected with zero lag", st.Replica)
+	}
+}
+
+// cutWriter aborts the connection after a byte budget — a mid-frame
+// network cut from the follower's point of view.
+type cutWriter struct {
+	http.ResponseWriter
+	budget int
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.budget <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if len(p) > c.budget {
+		c.ResponseWriter.Write(p[:c.budget])
+		c.budget = 0
+		if f, ok := c.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	c.budget -= len(p)
+	return c.ResponseWriter.Write(p)
+}
+
+func (c *cutWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestStreamCutsMidFrame serves the first several stream connections
+// through a writer that dies partway into a record. The follower must
+// reconnect, resume from its applied prefix, and still converge to
+// byte-identical state.
+func TestStreamCutsMidFrame(t *testing.T) {
+	h := startLeader(t, faultfs.New(), testPoints(48), wal.Options{Sync: wal.SyncAlways, CheckpointEvery: 16})
+
+	var mu sync.Mutex
+	conns := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /wal/checkpoint", h.rec.HandleCheckpoint)
+	mux.HandleFunc("GET /wal/stream", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n := conns
+		conns++
+		mu.Unlock()
+		if n < 6 {
+			// Budgets stagger across record boundaries: headers, bodies,
+			// and boundaries all get hit.
+			h.rec.HandleStream(&cutWriter{ResponseWriter: w, budget: 90 + 131*n}, r)
+			return
+		}
+		h.rec.HandleStream(w, r)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	defer h.ld.Close()
+	defer h.svc.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	folBodies := newBodyLog()
+	fol, stopFol := startFollower(t, ts.URL, folBodies)
+	defer stopFol()
+	waitConnected(t, fol)
+	// Pace the churn so frames arrive on the live stream (and its budgeted
+	// cuts) rather than all landing in one reconnect's backlog.
+	for i := 0; i < 50; i++ {
+		churn(t, h.svc, rng, 1)
+		time.Sleep(time.Millisecond)
+	}
+
+	last := h.ld.State().Epoch
+	waitForEpoch(t, fol, last)
+	mu.Lock()
+	sawCuts := conns
+	mu.Unlock()
+	// The first connection's 90-byte budget cannot survive 50 frames, so
+	// at least one cut-and-resume cycle must have happened; usually several.
+	if sawCuts < 2 {
+		t.Fatalf("only %d stream connections; the cut path never exercised", sawCuts)
+	}
+	for e := uint64(1); e <= last; e++ {
+		if got := folBodies.get(e); got != nil {
+			if want := h.bodies.get(e); !bytes.Equal(got, want) {
+				t.Fatalf("epoch %d: follower diverged across reconnects", e)
+			}
+		}
+	}
+	// Each applied epoch must have arrived exactly once (duplicate frames
+	// after a resume would fail Apply's epoch check and kill the link).
+	if st := fol.Stats(); st.Replica == nil || st.Replica.Epoch != last {
+		t.Fatalf("replica status %+v, want epoch %d", st.Replica, last)
+	}
+}
+
+// TestRetentionGone pins the 410 contract: a stream request from before
+// the in-memory ring answers Gone, and a live follower that far behind
+// re-bootstraps from the checkpoint and converges anyway.
+func TestRetentionGone(t *testing.T) {
+	h := startLeader(t, faultfs.New(), testPoints(48), wal.Options{Sync: wal.SyncAlways, CheckpointEvery: 4, Retain: 4})
+	ts := httptest.NewServer(h.mux)
+	defer ts.Close()
+	defer h.ld.Close()
+	defer h.svc.Close()
+
+	rng := rand.New(rand.NewSource(13))
+	churn(t, h.svc, rng, 30)
+
+	resp, err := http.Get(ts.URL + "/wal/stream?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stream from epoch 1 after 30 epochs: status %d, want 410", resp.StatusCode)
+	}
+
+	// A follower that bootstraps now and keeps up stays converged.
+	folBodies := newBodyLog()
+	fol, stopFol := startFollower(t, ts.URL, folBodies)
+	defer stopFol()
+	churn(t, h.svc, rng, 10)
+	last := h.ld.State().Epoch
+	waitForEpoch(t, fol, last)
+	if got, want := folBodies.get(last), h.bodies.get(last); !bytes.Equal(got, want) {
+		t.Fatalf("follower diverged after re-bootstrap window")
+	}
+}
+
+// TestKillRecoverLoop is the crash-recovery invariant test: repeatedly
+// churn, crash without any shutdown path, recover, and assert that the
+// recovered service (a) lost nothing that was acknowledged (SyncAlways),
+// (b) serves a topology whose spanner stretch is within t, and (c) keeps
+// accepting mutations.
+func TestKillRecoverLoop(t *testing.T) {
+	fs := faultfs.New()
+	rng := rand.New(rand.NewSource(17))
+	var acked uint64
+	var ackedBody []byte
+
+	for round := 0; round < 5; round++ {
+		h := startLeader(t, fs, testPoints(48), wal.Options{Sync: wal.SyncAlways, CheckpointEvery: 7})
+		st := h.ld.State()
+		if round > 0 {
+			if st.Epoch != acked {
+				t.Fatalf("round %d: recovered epoch %d, want acknowledged %d", round, st.Epoch, acked)
+			}
+			if !bytes.Equal(st.Encode(), ackedBody) {
+				t.Fatalf("round %d: recovered state body differs from acknowledged", round)
+			}
+		}
+
+		// The recovered topology must satisfy the spanner contract before
+		// serving: stretch ≤ t against the base graph.
+		snap := h.svc.Snapshot()
+		if s := metrics.Stretch(snap.Base, snap.Spanner); s > testT+1e-9 {
+			t.Fatalf("round %d: recovered spanner stretch %v > t=%v", round, s, testT)
+		}
+		if !h.svc.Ready() {
+			t.Fatalf("round %d: recovered service not ready", round)
+		}
+
+		churn(t, h.svc, rng, 9+round) // crosses checkpoint boundaries on some rounds
+		if err := h.ld.Err(); err != nil {
+			t.Fatalf("round %d: wal pipeline: %v", round, err)
+		}
+		st = h.ld.State()
+		acked, ackedBody = st.Epoch, st.Encode()
+
+		h.svc.Close() // stop the writer; the "kill" is the un-closed recorder
+		fs.Crash()    // power off: whatever was not fsynced is gone
+	}
+
+	// Final recovery, then verify routes still answer on the survivor.
+	h := startLeader(t, fs, testPoints(48), wal.Options{Sync: wal.SyncAlways, CheckpointEvery: 7})
+	defer h.svc.Close()
+	defer h.ld.Close()
+	if got := h.ld.State().Epoch; got != acked {
+		t.Fatalf("final recovery at epoch %d, want %d", got, acked)
+	}
+	snap := h.svc.Snapshot()
+	routed := 0
+	for src := 0; src < len(snap.Alive) && routed < 5; src++ {
+		for dst := len(snap.Alive) - 1; dst > src && routed < 5; dst-- {
+			if !snap.Alive[src] || !snap.Alive[dst] {
+				continue
+			}
+			res, err := h.svc.Route(routing.SchemeShortestPath, src, dst)
+			if err != nil {
+				t.Fatalf("route(%d,%d) after recovery: %v", src, dst, err)
+			}
+			if res.Route.Delivered {
+				if res.Stretch > testT+1e-9 {
+					t.Fatalf("route(%d,%d) stretch %v > t", src, dst, res.Stretch)
+				}
+				routed++
+			}
+		}
+	}
+	if routed == 0 {
+		t.Fatal("no routable pair survived recovery")
+	}
+}
+
+// TestLeaderRestartFollowerResumes restarts the leader under a follower:
+// the follower must survive the outage and resume on the recovered
+// leader without diverging (the hash chain spans the restart).
+func TestLeaderRestartFollowerResumes(t *testing.T) {
+	fs := faultfs.New()
+	h := startLeader(t, fs, testPoints(48), wal.Options{Sync: wal.SyncAlways, CheckpointEvery: 8})
+	ts := httptest.NewServer(h.mux)
+
+	rng := rand.New(rand.NewSource(23))
+	churn(t, h.svc, rng, 15)
+
+	folBodies := newBodyLog()
+	// A stable URL across leader restarts: proxy through a swappable
+	// backend address.
+	var urlMu sync.Mutex
+	leaderURL := ""
+	setURL := func(u string) { urlMu.Lock(); defer urlMu.Unlock(); leaderURL = u }
+	getURL := func() string { urlMu.Lock(); defer urlMu.Unlock(); return leaderURL }
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Propagate the follower's request context so a follower disconnect
+		// tears down the backend stream too — otherwise an idle stream pins
+		// the leader's server shut-down.
+		preq, err := http.NewRequestWithContext(r.Context(), http.MethodGet, getURL()+r.URL.String(), nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		resp, err := http.DefaultClient.Do(preq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		flusher, _ := w.(http.Flusher)
+		buf := make([]byte, 512)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	defer proxy.Close()
+	setURL(ts.URL)
+
+	fol, stopFol := startFollower(t, proxy.URL, folBodies)
+	churn(t, h.svc, rng, 10)
+	waitForEpoch(t, fol, h.ld.State().Epoch)
+
+	// Clean leader shutdown and restart from disk.
+	stopped := h.ld.State().Epoch
+	h.svc.Close()
+	if err := h.ld.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	h2 := startLeader(t, fs, nil, wal.Options{Sync: wal.SyncAlways, CheckpointEvery: 8})
+	defer h2.svc.Close()
+	defer h2.ld.Close()
+	if h2.ld.State().Epoch != stopped {
+		t.Fatalf("leader restarted at epoch %d, want %d", h2.ld.State().Epoch, stopped)
+	}
+	ts2 := httptest.NewServer(h2.mux)
+	defer ts2.Close()
+	// Registered after ts2.Close so it runs first: the follower must stop
+	// (ending its proxied stream) before ts2.Close waits out connections.
+	defer stopFol()
+	setURL(ts2.URL)
+
+	churn(t, h2.svc, rng, 10)
+	last := h2.ld.State().Epoch
+	waitForEpoch(t, fol, last)
+	for e := stopped + 1; e <= last; e++ {
+		if got, want := folBodies.get(e), h2.bodies.get(e); got == nil || !bytes.Equal(got, want) {
+			t.Fatalf("epoch %d: follower diverged across the leader restart (got %d bytes)", e, len(got))
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/routing"
+)
+
+// TestCloseRacesQueries slams Close into a service under concurrent
+// Mutate and Route traffic. Every in-flight Mutate must either complete
+// normally or fail with ErrClosed; reads must keep serving the last
+// published snapshot straight through the shutdown — never a panic, a
+// deadlock, or a torn snapshot — and Close must be idempotent under
+// contention. Run under -race (make race) this pins the shutdown path's
+// synchronization with the writer goroutine and the reader pool.
+func TestCloseRacesQueries(t *testing.T) {
+	const (
+		rounds   = 8
+		mutators = 2
+		routers  = 4
+		closers  = 2
+	)
+	for round := 0; round < rounds; round++ {
+		svc := testService(t, 64, Options{CacheSize: 128})
+		start := make(chan struct{})
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		fail := make(chan error, mutators+routers+closers)
+
+		for m := 0; m < mutators; m++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				<-start
+				for {
+					_, err := svc.Mutate([]Op{
+						{Kind: OpMove, ID: rng.Intn(64), Point: geom.Point{rng.Float64() * 8, rng.Float64() * 8}},
+					})
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							fail <- err
+						}
+						return
+					}
+				}
+			}(int64(round*100 + m))
+		}
+		for r := 0; r < routers; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				<-start
+				// Reads outlive Close by design: keep routing until the
+				// closers report done, across the writer shutdown.
+				for !stop.Load() {
+					if _, err := svc.Route(routing.SchemeShortestPath, rng.Intn(64), rng.Intn(64)); err != nil {
+						fail <- err
+						return
+					}
+				}
+			}(int64(round*100 + 50 + r))
+		}
+		var closersDone sync.WaitGroup
+		for c := 0; c < closers; c++ {
+			wg.Add(1)
+			closersDone.Add(1)
+			go func() {
+				defer wg.Done()
+				defer closersDone.Done()
+				<-start
+				svc.Close()
+			}()
+		}
+		go func() {
+			closersDone.Wait()
+			stop.Store(true)
+		}()
+
+		close(start)
+		wg.Wait()
+		select {
+		case err := <-fail:
+			t.Fatalf("round %d: concurrent call failed: %v", round, err)
+		default:
+		}
+		// After Close: mutations answer ErrClosed, reads keep serving the
+		// final snapshot.
+		if _, err := svc.Mutate([]Op{{Kind: OpMove, ID: 1, Point: geom.Point{1, 1}}}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: Mutate after Close: %v, want ErrClosed", round, err)
+		}
+		if _, err := svc.Route(routing.SchemeShortestPath, 0, 1); err != nil {
+			t.Fatalf("round %d: Route after Close must serve the last snapshot, got %v", round, err)
+		}
+	}
+}

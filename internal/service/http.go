@@ -67,18 +67,26 @@ func ParseScheme(name string) (routing.Scheme, error) {
 
 // Handler returns the HTTP surface of the service:
 //
-//	GET  /healthz                  liveness (200 once serving)
+//	GET  /healthz                  liveness (200 while the process serves)
+//	GET  /readyz                   readiness (503 until the first snapshot)
 //	GET  /stats                    topology + serving statistics
 //	GET  /node/{id}/neighbors      a node's spanner adjacency
 //	POST /route                    route one packet
-//	POST /mutate                   apply a mutation batch
+//	POST /mutate                   apply a mutation batch (leader only)
 //
 // Every handler resolves the current snapshot exactly once, so each
 // response is consistent with a single topology version (reported as
 // "version" in the body).
+//
+// Liveness and readiness are distinct on purpose: a follower that lost
+// its leader is alive (keep it in the process pool, let it keep serving
+// its last topology) but a follower that has never applied a frame — or
+// a leader still replaying its WAL — must not receive traffic yet, which
+// is what /readyz gates.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /node/{id}/neighbors", s.handleNeighbors)
 	mux.HandleFunc("POST /route", s.handleRoute)
@@ -87,8 +95,26 @@ func (s *Service) Handler() http.Handler {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ok", "ready": s.Ready()}
+	if snap := s.Snapshot(); snap != nil {
+		body["version"] = snap.Version
+	}
+	if repl := s.replicaStatus(); repl != nil {
+		body["role"] = repl.Role
+		body["replica"] = repl
+	} else {
+		body["role"] = "leader"
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+		"status":  "ready",
 		"version": s.Snapshot().Version,
 	})
 }
@@ -104,6 +130,10 @@ func (s *Service) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrNotReady)
+		return
+	}
 	pt, nbrs, baseDeg, err := snap.Neighbors(id)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -152,26 +182,28 @@ func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.Ops) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("service: empty mutation batch"))
+	if err := ValidateOps(req.Ops); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := s.Mutate(req.Ops)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
 // statusFor maps service errors to HTTP statuses: unknown nodes are 404,
-// malformed requests 400.
+// malformed requests 400, not-yet-ready followers 503.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownNode):
 		return http.StatusNotFound
 	case errors.Is(err, routing.ErrOutOfRange):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrNotReady), errors.Is(err, ErrReadOnly), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

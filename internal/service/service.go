@@ -49,6 +49,14 @@ var ErrUnknownNode = errors.New("service: unknown or departed node")
 // ErrClosed reports an operation on a closed service.
 var ErrClosed = errors.New("service: closed")
 
+// ErrReadOnly reports a mutation sent to a follower: replicas serve reads
+// and apply the leader's frame stream, never local writes.
+var ErrReadOnly = errors.New("service: read-only follower; send mutations to the leader")
+
+// ErrNotReady reports a query before the first snapshot exists (a
+// follower that has not applied a frame yet).
+var ErrNotReady = errors.New("service: not ready, no snapshot yet")
+
 // Options configures a Service.
 type Options struct {
 	// T is the spanner stretch bound (> 1; default 1.5).
@@ -69,6 +77,18 @@ type Options struct {
 	StretchSample int
 	// Seed drives the deterministic stretch-sample shuffle.
 	Seed int64
+	// InitialVersion stamps the first published snapshot (default 1). A
+	// daemon recovering from a WAL passes the recovered epoch so versions
+	// continue the pre-crash sequence instead of restarting at 1.
+	InitialVersion uint64
+	// OnPublish, when set, runs on the writer goroutine immediately after
+	// each mutation batch publishes its snapshot — the WAL append hook.
+	// applied holds the ops that succeeded (join IDs resolved) in batch
+	// order; touched lists the vertices whose adjacency rows the batch
+	// changed, sorted, and is only valid for the duration of the call.
+	// The hook runs before the batch's Mutate reply is released, so a
+	// durable-WAL hook makes every acknowledged mutation durable.
+	OnPublish func(snap *Snapshot, applied []Op, touched []int)
 }
 
 func (o *Options) normalize() {
@@ -148,6 +168,9 @@ type Service struct {
 	searchers chan *graph.Searcher
 	ctr       counters
 	start     time.Time
+	ready     atomic.Bool
+	follower  bool
+	repl      atomic.Pointer[ReplicaStatus]
 
 	reqs      chan *mutateReq
 	stop      chan struct{}
@@ -175,6 +198,20 @@ func New(points []geom.Point, opts Options) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewFromEngine(eng, opts)
+}
+
+// NewFromEngine starts a service over an existing engine — the WAL
+// recovery path, where the engine was restored from a checkpoint plus a
+// replayed log tail rather than built from scratch. The engine's own T,
+// Radius, and dimension override the corresponding options; the caller
+// passes the recovered epoch as Options.InitialVersion so published
+// versions continue the pre-crash sequence. The service owns the engine
+// from here on.
+func NewFromEngine(eng *dynamic.Engine, opts Options) (*Service, error) {
+	opts.normalize()
+	eopts := eng.Options()
+	opts.T, opts.Radius, opts.Dim = eopts.T, eopts.Radius, eng.Dim()
 	s := &Service{
 		opts:      opts,
 		searchers: make(chan *graph.Searcher, opts.Searchers),
@@ -184,8 +221,103 @@ func New(points []geom.Point, opts Options) (*Service, error) {
 		writerRet: make(chan struct{}),
 	}
 	s.publish(eng)
+	s.ready.Store(true)
 	go s.writer(eng)
 	return s, nil
+}
+
+// NewFollower starts a read-only service with no engine and no writer:
+// snapshots arrive from the leader's frame stream via PublishFrozen
+// (internal/replica drives this). Mutations are rejected with
+// ErrReadOnly, and the service reports not-ready until the first
+// snapshot is published.
+func NewFollower(opts Options) *Service {
+	opts.normalize()
+	if opts.Dim == 0 {
+		opts.Dim = 2
+	}
+	s := &Service{
+		opts:     opts,
+		follower: true,
+		searchers: make(chan *graph.Searcher,
+			opts.Searchers),
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	return s
+}
+
+// PublishFrozen installs an externally built topology version — a
+// follower applying the leader's delta frames. points, alive, and the
+// graphs must be immutable from here on (the WAL state machine
+// guarantees this: every Apply builds fresh metadata slices and frozen
+// successors). The first publish marks the follower ready.
+func (s *Service) PublishFrozen(version uint64, points []geom.Point, alive []bool, live int, base, sp *graph.Frozen) error {
+	router, err := routing.NewRouter(sp, points)
+	if err != nil {
+		return err
+	}
+	snap := &Snapshot{
+		Version:       version,
+		T:             s.opts.T,
+		Points:        points,
+		Alive:         alive,
+		Base:          base,
+		Spanner:       sp,
+		router:        router,
+		searchers:     s.searchers,
+		cache:         newRouteCache(s.opts.CacheSize, &s.ctr),
+		ctr:           &s.ctr,
+		live:          live,
+		stretchSample: s.opts.StretchSample,
+		seed:          s.opts.Seed,
+	}
+	snap.bboxLo, snap.bboxHi = bbox(points, s.opts.Dim)
+	s.snap.Store(snap)
+	s.ready.Store(true)
+	return nil
+}
+
+// Ready reports whether the service has a snapshot to serve: immediately
+// for leaders (construction is synchronous), after the first applied
+// frame for followers. GET /readyz is this, as an HTTP status.
+func (s *Service) Ready() bool { return s.ready.Load() }
+
+// Follower reports whether this service is a read-only replica.
+func (s *Service) Follower() bool { return s.follower }
+
+// ReplicaStatus describes a follower's replication link, for /healthz
+// and /stats. The zero value means "leader".
+type ReplicaStatus struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Connected reports a live frame stream from the leader.
+	Connected bool `json:"connected"`
+	// Epoch is the last applied epoch; LeaderEpoch the newest epoch the
+	// follower has heard of (equal when caught up). Lag is the difference.
+	Epoch       uint64 `json:"epoch"`
+	LeaderEpoch uint64 `json:"leader_epoch"`
+	Lag         uint64 `json:"lag"`
+	// LastFrameAgeSeconds is the time since the last applied frame (-1
+	// before the first frame).
+	LastFrameAgeSeconds float64 `json:"last_frame_age_seconds"`
+	// Reconnects counts stream re-establishments (drops + backoff).
+	Reconnects uint64 `json:"reconnects"`
+}
+
+// SetReplicaStatus publishes the replication-link status (the replica
+// client updates it as frames apply and connections drop).
+func (s *Service) SetReplicaStatus(st ReplicaStatus) { s.repl.Store(&st) }
+
+// replicaStatus returns the current status, nil for leaders.
+func (s *Service) replicaStatus() *ReplicaStatus {
+	if !s.follower {
+		return nil
+	}
+	if st := s.repl.Load(); st != nil {
+		return st
+	}
+	return &ReplicaStatus{Role: "follower"}
 }
 
 // Close stops the writer goroutine. In-flight Mutate calls receive
@@ -193,7 +325,9 @@ func New(points []geom.Point, opts Options) (*Service, error) {
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		close(s.stop)
-		<-s.writerRet
+		if !s.follower {
+			<-s.writerRet
+		}
 	})
 }
 
@@ -206,7 +340,11 @@ func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
 // Snapshot().Route directly when several queries must observe the same
 // version; both paths feed the same serving counters.
 func (s *Service) Route(scheme routing.Scheme, src, dst int) (RouteResult, error) {
-	return s.Snapshot().Route(scheme, src, dst)
+	snap := s.Snapshot()
+	if snap == nil {
+		return RouteResult{}, ErrNotReady
+	}
+	return snap.Route(scheme, src, dst)
 }
 
 // Mutate applies a batch of topology mutations through the writer
@@ -214,6 +352,9 @@ func (s *Service) Route(scheme routing.Scheme, src, dst int) (RouteResult, error
 // applied best-effort in order: a failed op (e.g. leave of a departed
 // node) is reported in its OpResult without aborting the batch.
 func (s *Service) Mutate(ops []Op) (*MutateResult, error) {
+	if s.follower {
+		return nil, ErrReadOnly
+	}
 	req := &mutateReq{ops: ops, reply: make(chan *MutateResult, 1)}
 	select {
 	case s.reqs <- req:
@@ -273,7 +414,18 @@ func (s *Service) apply(eng *dynamic.Engine, ops []Op) *MutateResult {
 		res.Version = s.Snapshot().Version
 		return res
 	}
-	res.Version = s.publish(eng).Version
+	snap := s.publish(eng)
+	res.Version = snap.Version
+	if s.opts.OnPublish != nil {
+		applied := make([]Op, 0, res.Applied)
+		for i, op := range ops {
+			if res.Results[i].Err == "" {
+				op.ID = res.Results[i].ID // joins: the engine-assigned slot
+				applied = append(applied, op)
+			}
+		}
+		s.opts.OnPublish(snap, applied, eng.LastExportTouched())
+	}
 	return res
 }
 
@@ -284,7 +436,10 @@ func (s *Service) apply(eng *dynamic.Engine, ops []Op) *MutateResult {
 // goroutine.
 func (s *Service) publish(eng *dynamic.Engine) *Snapshot {
 	points, alive, base, sp := eng.ExportFrozen()
-	version := uint64(1)
+	version := s.opts.InitialVersion
+	if version == 0 {
+		version = 1
+	}
 	if old := s.snap.Load(); old != nil {
 		version = old.Version + 1
 	}
@@ -370,11 +525,30 @@ type Stats struct {
 	MutationOps    uint64  `json:"mutation_ops"`
 	MutationBatch  uint64  `json:"mutation_batches"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// Role is "leader" or "follower"; Ready mirrors GET /readyz. Replica
+	// carries the replication-link status on followers (nil on leaders).
+	Role    string         `json:"role"`
+	Ready   bool           `json:"ready"`
+	Replica *ReplicaStatus `json:"replica,omitempty"`
 }
 
 // Stats assembles the statistics document for the current snapshot.
 func (s *Service) Stats() Stats {
+	role := "leader"
+	if s.follower {
+		role = "follower"
+	}
 	snap := s.Snapshot()
+	if snap == nil {
+		// A follower that has not applied its first frame yet has nothing
+		// to describe beyond its own serving state.
+		return Stats{
+			Role:          role,
+			Ready:         s.Ready(),
+			Replica:       s.replicaStatus(),
+			UptimeSeconds: time.Since(s.start).Seconds(),
+		}
+	}
 	est, exact := snap.StretchEstimate()
 	if math.IsInf(est, 1) {
 		est = -1 // JSON has no Inf; -1 flags a disconnected sampled edge
@@ -401,5 +575,8 @@ func (s *Service) Stats() Stats {
 		MutationOps:     s.ctr.mutOps.Load(),
 		MutationBatch:   s.ctr.mutBatches.Load(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Role:            role,
+		Ready:           s.Ready(),
+		Replica:         s.replicaStatus(),
 	}
 }

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Validation limits for POST /mutate. Requests breaking them are rejected
+// with 400 before any op reaches the engine: garbage coordinates would
+// poison the grid and every distance computation (NaN comparisons are
+// always false, so a NaN point can neither be found nor removed), and a
+// hostile slot id or batch size would force huge allocations.
+const (
+	// MaxBatchOps bounds one mutation batch.
+	MaxBatchOps = 4096
+	// MaxNodeID bounds leave/move slot ids. The engine's slot space only
+	// grows by joins, so any honest id is far below this.
+	MaxNodeID = 1 << 30
+	// MaxDim bounds join/move point dimensions.
+	MaxDim = 64
+	// MaxCoord bounds coordinate magnitude: far beyond any deployment
+	// area, small enough that squared distances cannot overflow.
+	MaxCoord = 1e15
+)
+
+// ErrBadOp reports a mutation batch rejected by validation.
+var ErrBadOp = errors.New("service: invalid mutation")
+
+// ValidateOps vets a mutation batch before it reaches the engine. It
+// checks shape only — liveness of the named slots is the engine's call
+// (and is reported per-op, not as a batch failure).
+func ValidateOps(ops []Op) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrBadOp)
+	}
+	if len(ops) > MaxBatchOps {
+		return fmt.Errorf("%w: batch of %d ops exceeds the limit of %d", ErrBadOp, len(ops), MaxBatchOps)
+	}
+	for i, op := range ops {
+		if err := validateOp(op); err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateOp(op Op) error {
+	switch op.Kind {
+	case OpJoin:
+		return validatePoint(op.Point)
+	case OpLeave:
+		return validateID(op.ID)
+	case OpMove:
+		if err := validateID(op.ID); err != nil {
+			return err
+		}
+		return validatePoint(op.Point)
+	default:
+		return fmt.Errorf("%w: unknown op kind %q", ErrBadOp, op.Kind)
+	}
+}
+
+func validateID(id int) error {
+	if id < 0 {
+		return fmt.Errorf("%w: negative node id %d", ErrBadOp, id)
+	}
+	if id >= MaxNodeID {
+		return fmt.Errorf("%w: node id %d out of range", ErrBadOp, id)
+	}
+	return nil
+}
+
+func validatePoint(p []float64) error {
+	if len(p) == 0 {
+		return fmt.Errorf("%w: missing point", ErrBadOp)
+	}
+	if len(p) > MaxDim {
+		return fmt.Errorf("%w: %d-dimensional point exceeds limit %d", ErrBadOp, len(p), MaxDim)
+	}
+	for i, c := range p {
+		if math.IsNaN(c) {
+			return fmt.Errorf("%w: coordinate %d is NaN", ErrBadOp, i)
+		}
+		if math.IsInf(c, 0) {
+			return fmt.Errorf("%w: coordinate %d is infinite", ErrBadOp, i)
+		}
+		if c < -MaxCoord || c > MaxCoord {
+			return fmt.Errorf("%w: coordinate %d magnitude exceeds %g", ErrBadOp, i, float64(MaxCoord))
+		}
+	}
+	return nil
+}

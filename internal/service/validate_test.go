@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestValidateOps(t *testing.T) {
+	pt := func(cs ...float64) []float64 { return cs }
+	big := make([]Op, MaxBatchOps+1)
+	for i := range big {
+		big[i] = Op{Kind: OpJoin, Point: pt(1, 2)}
+	}
+	hugeDim := Op{Kind: OpJoin, Point: make([]float64, MaxDim+1)}
+
+	cases := []struct {
+		name string
+		ops  []Op
+		ok   bool
+	}{
+		{"join", []Op{{Kind: OpJoin, Point: pt(3, 4)}}, true},
+		{"leave", []Op{{Kind: OpLeave, ID: 7}}, true},
+		{"move", []Op{{Kind: OpMove, ID: 7, Point: pt(1, 1)}}, true},
+		{"mixed batch", []Op{{Kind: OpJoin, Point: pt(0, 0)}, {Kind: OpLeave, ID: 0}}, true},
+		{"max batch", big[:MaxBatchOps], true},
+		{"coord at limit", []Op{{Kind: OpJoin, Point: pt(MaxCoord, -MaxCoord)}}, true},
+		{"empty batch", nil, false},
+		{"oversized batch", big, false},
+		{"unknown kind", []Op{{Kind: "merge"}}, false},
+		{"join NaN", []Op{{Kind: OpJoin, Point: pt(math.NaN(), 0)}}, false},
+		{"join +Inf", []Op{{Kind: OpJoin, Point: pt(0, math.Inf(1))}}, false},
+		{"join -Inf", []Op{{Kind: OpJoin, Point: pt(math.Inf(-1), 0)}}, false},
+		{"move NaN", []Op{{Kind: OpMove, ID: 3, Point: pt(0, math.NaN())}}, false},
+		{"coord too large", []Op{{Kind: OpJoin, Point: pt(2*MaxCoord, 0)}}, false},
+		{"join no point", []Op{{Kind: OpJoin}}, false},
+		{"move no point", []Op{{Kind: OpMove, ID: 1}}, false},
+		{"huge dim", []Op{hugeDim}, false},
+		{"negative id leave", []Op{{Kind: OpLeave, ID: -1}}, false},
+		{"negative id move", []Op{{Kind: OpMove, ID: -5, Point: pt(1, 1)}}, false},
+		{"id out of range", []Op{{Kind: OpLeave, ID: MaxNodeID}}, false},
+		{"bad op mid-batch", []Op{{Kind: OpLeave, ID: 1}, {Kind: OpJoin, Point: pt(math.NaN())}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateOps(tc.ops)
+			if tc.ok && err != nil {
+				t.Fatalf("ValidateOps = %v, want nil", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("ValidateOps = nil, want error")
+				}
+				if !errors.Is(err, ErrBadOp) {
+					t.Fatalf("ValidateOps = %v, want ErrBadOp", err)
+				}
+			}
+		})
+	}
+}
+
+// TestMutateValidationHTTP checks that invalid batches die at the HTTP
+// layer with 400 and a JSON error body, without mutating the topology.
+func TestMutateValidationHTTP(t *testing.T) {
+	svc, ts := testServer(t, 32)
+	before := svc.Snapshot().Version
+
+	bad := []struct {
+		name string
+		body string
+	}{
+		{"empty batch", `{"ops":[]}`},
+		{"missing ops", `{}`},
+		{"negative id", `{"ops":[{"op":"leave","id":-4}]}`},
+		{"unknown kind", `{"ops":[{"op":"teleport","id":1}]}`},
+		{"unknown field", `{"ops":[{"op":"join","point":[0,0]}],"force":true}`},
+		{"non-numeric coord", `{"ops":[{"op":"join","point":["NaN","0"]}]}`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/mutate", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Fatalf("decoding 400 body: %v", err)
+			}
+			if eb.Error == "" {
+				t.Fatal("400 response carries no JSON error message")
+			}
+		})
+	}
+
+	if got := svc.Snapshot().Version; got != before {
+		t.Fatalf("rejected batches advanced the topology: version %d -> %d", before, got)
+	}
+
+	// A valid batch still goes through after the rejections.
+	postJSON(t, ts.URL+"/mutate", MutateRequest{Ops: []Op{{Kind: OpJoin, Point: []float64{0.41, 0.43}}}}, http.StatusOK, nil)
+	if got := svc.Snapshot().Version; got != before+1 {
+		t.Fatalf("valid batch after rejections: version %d, want %d", got, before+1)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	// A leader is ready the moment New returns.
+	_, ts := testServer(t, 16)
+	var body map[string]any
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &body)
+	if body["status"] != "ready" {
+		t.Fatalf("readyz status = %v, want ready", body["status"])
+	}
+
+	// A fresh follower is alive but not ready: /healthz 200, /readyz 503,
+	// and read endpoints refuse with 503 rather than a panic or a 500.
+	fol := NewFollower(Options{})
+	defer fol.Close()
+	fts := httptest.NewServer(fol.Handler())
+	defer fts.Close()
+
+	getJSON(t, fts.URL+"/healthz", http.StatusOK, &body)
+	if body["ready"] != false || body["role"] != "follower" {
+		t.Fatalf("follower healthz = %v, want ready=false role=follower", body)
+	}
+	getJSON(t, fts.URL+"/readyz", http.StatusServiceUnavailable, nil)
+	getJSON(t, fts.URL+"/node/0/neighbors", http.StatusServiceUnavailable, nil)
+	postJSON(t, fts.URL+"/route", RouteRequest{Src: 0, Dst: 1}, http.StatusServiceUnavailable, nil)
+	// Mutations are refused on followers regardless of readiness.
+	postJSON(t, fts.URL+"/mutate", MutateRequest{Ops: []Op{{Kind: OpLeave, ID: 0}}}, http.StatusServiceUnavailable, nil)
+
+	// Publishing a snapshot flips readiness.
+	src := testService(t, 12, Options{})
+	defer src.Close()
+	snap := src.Snapshot()
+	live := 0
+	for _, a := range snap.Alive {
+		if a {
+			live++
+		}
+	}
+	if err := fol.PublishFrozen(snap.Version, snap.Points, snap.Alive, live, snap.Base, snap.Spanner); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, fts.URL+"/readyz", http.StatusOK, &body)
+	if body["status"] != "ready" {
+		t.Fatalf("follower readyz after publish = %v, want ready", body["status"])
+	}
+	var rr RouteResponse
+	postJSON(t, fts.URL+"/route", RouteRequest{Src: 0, Dst: 1}, http.StatusOK, &rr)
+	if !rr.Delivered {
+		t.Fatal("follower route after publish not delivered")
+	}
+}

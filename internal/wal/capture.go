@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+)
+
+// BuildFrame assembles and seals the delta frame for one published
+// commit. touched lists the vertices whose adjacency rows the commit
+// changed (dynamic.Engine.LastExportTouched); the slots named by the ops
+// are merged in so that joins and leaves of isolated nodes — which touch
+// no adjacency row — still replicate their liveness and position. The
+// delta list is sorted and deduplicated, making the frame encoding
+// canonical for the hash chain.
+//
+// alive, points, base, and spanner must be the post-commit published
+// snapshot (immutable), so the rows the frame carries are exactly the
+// rows the leader serves at this epoch.
+func BuildFrame(
+	epoch uint64, prevChain [sha256.Size]byte,
+	ops []Op, touched []int,
+	points []geom.Point, alive []bool, live int,
+	base, spanner *graph.Frozen,
+) *Frame {
+	seen := make(map[int]struct{}, len(touched)+len(ops))
+	for _, v := range touched {
+		seen[v] = struct{}{}
+	}
+	for _, op := range ops {
+		seen[int(op.ID)] = struct{}{}
+	}
+	vs := make([]int, 0, len(seen))
+	for v := range seen {
+		if v >= 0 && v < len(alive) {
+			vs = append(vs, v)
+		}
+	}
+	sort.Ints(vs)
+
+	f := &Frame{
+		Epoch: epoch,
+		Slots: int32(len(alive)),
+		Live:  int32(live),
+		Ops:   ops,
+	}
+	for _, v := range vs {
+		vd := VertexDelta{V: int32(v), Alive: alive[v]}
+		if alive[v] {
+			vd.Point = points[v]
+		}
+		if v < base.N() {
+			vd.Base = base.Neighbors(v)
+		}
+		if v < spanner.N() {
+			vd.Spanner = spanner.Neighbors(v)
+		}
+		f.Deltas = append(f.Deltas, vd)
+	}
+	f.Seal(prevChain)
+	return f
+}

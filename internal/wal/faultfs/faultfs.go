@@ -1,0 +1,303 @@
+// Package faultfs is an in-memory filesystem with precise crash
+// semantics, the substrate of the WAL fault-injection suite. It models
+// the property journaled filesystems actually guarantee for appended
+// data: bytes written but not yet fsynced may vanish at a crash, in
+// arbitrary (prefix) amounts, while synced bytes survive. On top of that
+// it injects the failure modes the recovery path must absorb:
+//
+//   - Write budgets: after a configured number of bytes, the next write
+//     applies only a prefix (a torn record) and the filesystem wedges —
+//     every later operation fails, as if the process were dying mid-step.
+//   - Crash(): discard all unsynced state, unwedge, and continue — the
+//     "kill -9 and restart" transition recovery is tested against.
+//   - FlipBit: corrupt a durable byte, modeling bit rot that CRCs must
+//     catch (checkpoint fallback, log-tail truncation).
+//
+// Renames are modeled as atomic and durable (the journaled-metadata
+// assumption the real recorder leans on via fsync-before-rename).
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"topoctl/internal/wal"
+)
+
+// ErrInjected is returned by every operation once the filesystem has
+// wedged (write budget exhausted).
+var ErrInjected = errors.New("faultfs: injected failure")
+
+type file struct {
+	data    []byte
+	durable int // bytes that survive Crash
+}
+
+// FS implements wal.FS in memory with durability tracking.
+type FS struct {
+	mu     sync.Mutex
+	files  map[string]*file
+	budget int64 // bytes until wedge; <0 = unlimited
+	wedged bool
+
+	// Writes counts successful Write calls, so tests can enumerate crash
+	// points ("wedge after the k-th write").
+	writes int
+}
+
+var _ wal.FS = (*FS)(nil)
+
+// New returns an empty filesystem with no fault armed.
+func New() *FS {
+	return &FS{files: map[string]*file{}, budget: -1}
+}
+
+// SetWriteBudget arms the torn-write fault: the next n bytes of writes
+// succeed; the write that crosses the boundary applies only its prefix
+// and wedges the filesystem. Negative disarms.
+func (fs *FS) SetWriteBudget(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.budget = n
+	fs.wedged = false
+}
+
+// Wedged reports whether the armed fault has fired.
+func (fs *FS) Wedged() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.wedged
+}
+
+// WriteCount returns the number of Write calls that have fully applied.
+func (fs *FS) WriteCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes
+}
+
+// Crash simulates a process kill and restart: every file reverts to its
+// durable prefix, and the filesystem unwedges with no fault armed.
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		f.data = f.data[:f.durable]
+	}
+	fs.budget = -1
+	fs.wedged = false
+}
+
+// SyncAll makes the current content of every file durable — the
+// "clean shutdown" baseline faults are measured against.
+func (fs *FS) SyncAll() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		f.durable = len(f.data)
+	}
+}
+
+// FlipBit XORs one bit of name's durable content.
+func (fs *FS) FlipBit(name string, off int64, bit uint) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok || off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("faultfs: flip %s@%d: no such byte", name, off)
+	}
+	f.data[off] ^= 1 << (bit % 8)
+	return nil
+}
+
+// Files returns the names of all files, sorted.
+func (fs *FS) Files() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SizeNow returns a file's current (volatile) length.
+func (fs *FS) SizeNow(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[name]; ok {
+		return int64(len(f.data))
+	}
+	return 0
+}
+
+func (fs *FS) MkdirAll(dir string) error { return nil }
+
+func (fs *FS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return nil, ErrInjected
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for n := range fs.files {
+		if strings.HasPrefix(n, prefix) && !strings.Contains(n[len(prefix):], "/") {
+			names = append(names, n[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *FS) Open(name string) (io.ReadCloser, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return nil, ErrInjected
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: no such file", name)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+}
+
+func (fs *FS) Create(name string) (wal.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return nil, ErrInjected
+	}
+	fs.files[name] = &file{}
+	return &handle{fs: fs, name: name}, nil
+}
+
+func (fs *FS) Append(name string) (wal.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return nil, ErrInjected
+	}
+	if _, ok := fs.files[name]; !ok {
+		fs.files[name] = &file{}
+	}
+	return &handle{fs: fs, name: name}, nil
+}
+
+func (fs *FS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return ErrInjected
+	}
+	f, ok := fs.files[oldpath]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: no such file", oldpath)
+	}
+	delete(fs.files, oldpath)
+	// Renames are modeled durable: the real recorder syncs content before
+	// renaming and the OS adapter syncs the directory after.
+	f.durable = len(f.data)
+	fs.files[newpath] = f
+	return nil
+}
+
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return ErrInjected
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+func (fs *FS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return ErrInjected
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("faultfs: truncate %s: no such file", name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("faultfs: truncate %s to %d (len %d)", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.durable > int(size) {
+		f.durable = int(size)
+	}
+	return nil
+}
+
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return 0, ErrInjected
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("faultfs: stat %s: no such file", name)
+	}
+	return int64(len(f.data)), nil
+}
+
+// handle is an open file. Writes append (the WAL's only write pattern —
+// Create starts from an empty file).
+type handle struct {
+	fs   *FS
+	name string
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return 0, ErrInjected
+	}
+	f, ok := fs.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("faultfs: write %s: file removed", h.name)
+	}
+	n := len(p)
+	if fs.budget >= 0 && int64(n) > fs.budget {
+		// The fault fires: a prefix lands, then the filesystem wedges.
+		n = int(fs.budget)
+		f.data = append(f.data, p[:n]...)
+		fs.wedged = true
+		fs.budget = 0
+		return n, ErrInjected
+	}
+	if fs.budget >= 0 {
+		fs.budget -= int64(n)
+	}
+	f.data = append(f.data, p...)
+	fs.writes++
+	return n, nil
+}
+
+func (h *handle) Sync() error {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.wedged {
+		return ErrInjected
+	}
+	if f, ok := fs.files[h.name]; ok {
+		f.durable = len(f.data)
+	}
+	return nil
+}
+
+func (h *handle) Close() error { return nil }

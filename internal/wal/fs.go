@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the slice of filesystem behavior the WAL needs, factored out so
+// the fault-injection harness (wal/faultfs) can substitute an in-memory
+// filesystem with precise crash semantics: writes that vanish unless
+// synced, torn final writes, and bit flips. Production code uses OS.
+type FS interface {
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+	// ReadDir returns the sorted base names of dir's entries. A missing
+	// directory returns an empty list, not an error.
+	ReadDir(dir string) ([]string, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if missing.
+	Append(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name; removing a missing file is not an error.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// Size returns name's length in bytes.
+	Size(name string) (int64, error)
+}
+
+// File is a writable log or checkpoint file. Sync must make previously
+// written bytes durable (survive a crash).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// Rename renames and then fsyncs the parent directory, so the rename
+// itself is durable — the checkpoint-publication step depends on it.
+func (osFS) Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(newpath)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (osFS) Remove(name string) error {
+	err := os.Remove(name)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
