@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-json bench-save bench-compare serve-smoke recover-smoke ci
+.PHONY: all build check vet fmt test race fuzz-short cover bench bench-json bench-save bench-compare serve-smoke recover-smoke ci
 
 all: check
 
@@ -29,13 +29,39 @@ check: vet fmt test
 # reps), the dynamic engine, the serving layer — whose stress tests run
 # ≥8 concurrent readers against a live mutator and slam Close into live
 # Mutate/Route traffic — and the WAL + replication layer, whose stream
-# subscribers race the log writer.
+# subscribers race the log writer. internal/labels rides along because its
+# differential harness churns a live dynamic engine while querying the
+# oracle the same way concurrent service readers do.
 race:
-	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ ./internal/service/ ./internal/wal/ ./internal/replica/ .
+	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ ./internal/service/ ./internal/wal/ ./internal/replica/ ./internal/labels/ .
+
+# Short native-fuzz pass over the untrusted-byte decode surfaces: the WAL
+# record/frame/checkpoint decoders (what a follower reads off the wire and
+# recovery reads off disk) and the netio instance parser (operator files).
+# Each target explores for a few seconds on top of the committed seed
+# corpora in testdata/fuzz/; go only allows one -fuzz pattern per
+# invocation, hence one line per target. New crashers land in the
+# package's testdata and fail `go test` until fixed.
+FUZZ_TIME ?= 5s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzRecordStream$$' -fuzztime $(FUZZ_TIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZ_TIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeState$$' -fuzztime $(FUZZ_TIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZ_TIME) ./internal/netio/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrom$$' -fuzztime $(FUZZ_TIME) ./internal/netio/
+
+# Coverage over the whole module: the test run prints the per-package
+# percentages (the trend worth reading in a CI log), the profile feeds the
+# module-wide total and the HTML drill-down.
+COVER_PROFILE ?= coverage.out
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) -covermode=atomic ./...
+	@$(GO) tool cover -func=$(COVER_PROFILE) | tail -1
+	@echo "wrote $(COVER_PROFILE); open with: $(GO) tool cover -html=$(COVER_PROFILE)"
 
 # Benchmark smoke: one iteration of each micro-benchmark with allocation
 # accounting, to catch perf regressions that change allocs/op.
-BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn|BenchmarkService|BenchmarkRouteUncached
+BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn|BenchmarkService|BenchmarkRouteUncached|BenchmarkRouteLabel|BenchmarkLabelBuild
 BENCH_PKGS = . ./internal/service/
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x $(BENCH_PKGS)

@@ -20,6 +20,7 @@ import (
 	"topoctl/internal/geom"
 	"topoctl/internal/graph"
 	"topoctl/internal/greedy"
+	"topoctl/internal/labels"
 	"topoctl/internal/metrics"
 	"topoctl/internal/netio"
 	"topoctl/internal/routing"
@@ -189,6 +190,96 @@ func BenchmarkRouteUncached(b *testing.B) {
 					b.Fatalf("undelivered %d->%d", q.S, q.T)
 				}
 			}
+		})
+	}
+}
+
+// labelQueries draws a query workload over n vertices: "uniform" is the
+// RandomQueries distribution BenchmarkRouteUncached uses; "zipf" skews
+// sources and destinations toward a hot set (PODS-style overlay traffic —
+// the distribution the label oracle is supposed to win under, since hot
+// pairs hit the same short label runs over and over).
+func labelQueries(n int, mix string) []routing.Query {
+	if mix == "uniform" {
+		return routing.RandomQueries(n, 256, 7)
+	}
+	rng := rand.New(rand.NewSource(7))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(n-1))
+	out := make([]routing.Query, 0, 256)
+	for len(out) < 256 {
+		s, t := int(z.Uint64()), int(z.Uint64())
+		if s != t {
+			out = append(out, routing.Query{S: s, T: t})
+		}
+	}
+	return out
+}
+
+// BenchmarkRouteLabel measures the point-to-point distance primitive with
+// and without the hub-label oracle, at constant density (expected degree
+// 8) and under both uniform and zipfian query mixes. The labels arm is the
+// acceptance target: ≥5× under the bidi arm at n=4096 with 0 allocs/op.
+// label-B/vtx reports the oracle's storage cost, fallbacks/op how many
+// queries the oracle declined (0 for a freshly built oracle).
+func BenchmarkRouteLabel(b *testing.B) {
+	for _, n := range []int{512, 1024, 4096} {
+		inst := benchInstanceDensity(b, n, 8)
+		sp := graph.Freeze(greedy.Spanner(inst.G, 1.5))
+		oracle := labels.Build(sp, labels.Options{})
+		st := oracle.Stats()
+		for _, mix := range []string{"uniform", "zipf"} {
+			queries := labelQueries(n, mix)
+			for _, arm := range []string{"labels", "bidi"} {
+				b.Run(fmt.Sprintf("n=%d/mix=%s/%s", n, mix, arm), func(b *testing.B) {
+					router, err := routing.NewRouter(sp, inst.Points)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if arm == "labels" {
+						router.SetDistanceOracle(oracle)
+						b.ReportMetric(st.BytesPerVertex, "label-B/vtx")
+					}
+					srch := graph.NewSearcher(n)
+					fallbacks := 0
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						q := queries[i%len(queries)]
+						d, fromLabels, err := router.Distance(srch, q.S, q.T)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if d >= graph.Inf {
+							b.Fatalf("unreachable %d->%d on a connected instance", q.S, q.T)
+						}
+						if !fromLabels {
+							fallbacks++
+						}
+					}
+					if arm == "labels" {
+						b.ReportMetric(float64(fallbacks)/float64(b.N), "fallbacks/op")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkLabelBuild measures full hub-label construction at the freeze
+// boundary — the cost a labels-enabled topoctld pays per oracle rebuild
+// (stale horizon), not per mutation (additions maintain incrementally).
+func BenchmarkLabelBuild(b *testing.B) {
+	for _, n := range []int{512, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := benchInstanceDensity(b, n, 8)
+			sp := graph.Freeze(greedy.Spanner(inst.G, 1.5))
+			b.ResetTimer()
+			var st labels.Stats
+			for i := 0; i < b.N; i++ {
+				st = labels.Build(sp, labels.Options{}).Stats()
+			}
+			b.ReportMetric(float64(st.Entries)/float64(n), "entries/vtx")
+			b.ReportMetric(st.BytesPerVertex, "label-B/vtx")
 		})
 	}
 }

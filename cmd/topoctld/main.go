@@ -96,6 +96,7 @@ type serveFlags struct {
 	radius float64
 	cache  int
 	sample int
+	labels bool
 }
 
 func addServeFlags(fs *flag.FlagSet) *serveFlags {
@@ -109,6 +110,7 @@ func addServeFlags(fs *flag.FlagSet) *serveFlags {
 	fs.Float64Var(&sf.radius, "radius", 1, "connectivity radius of the maintained base graph")
 	fs.IntVar(&sf.cache, "cache", 8192, "route cache capacity per snapshot")
 	fs.IntVar(&sf.sample, "stretch-sample", 256, "base-edge sample size for the /stats stretch estimate")
+	fs.BoolVar(&sf.labels, "labels", true, "maintain the hub-label distance oracle (exact /distance answers without a search)")
 	return sf
 }
 
@@ -145,6 +147,7 @@ func (sf *serveFlags) newService() (*service.Service, error) {
 		CacheSize:     sf.cache,
 		StretchSample: sf.sample,
 		Seed:          sf.seed,
+		Labels:        sf.labels,
 	})
 }
 
@@ -198,6 +201,7 @@ func buildLeader(sf *serveFlags, wf *walFlags) (*service.Service, *replica.Leade
 	opts := service.Options{
 		T: sf.t, Radius: sf.radius, Dim: sf.d,
 		CacheSize: sf.cache, StretchSample: sf.sample, Seed: sf.seed,
+		Labels:    sf.labels,
 		OnPublish: ld.OnPublish,
 	}
 	var svc *service.Service

@@ -281,3 +281,35 @@ func TestClusterGraphIntraEdgesMatchCoverDistances(t *testing.T) {
 		}
 	}
 }
+
+func TestCentersBySize(t *testing.T) {
+	sp := testSpanner(t, 90, 604)
+	cov := GreedyCover(sp, 0.3)
+	order := cov.CentersBySize()
+	if len(order) != len(cov.Centers) {
+		t.Fatalf("CentersBySize returned %d centers, cover has %d", len(order), len(cov.Centers))
+	}
+	seen := make(map[int]bool)
+	for i, c := range order {
+		if seen[c] {
+			t.Fatalf("center %d repeated", c)
+		}
+		seen[c] = true
+		if _, ok := cov.Members[c]; !ok {
+			t.Fatalf("ordered vertex %d is not a center", c)
+		}
+		if i > 0 {
+			prev := order[i-1]
+			sp1, s := len(cov.Members[prev]), len(cov.Members[c])
+			if sp1 < s || (sp1 == s && prev > c) {
+				t.Fatalf("order violated at %d: center %d (size %d) before %d (size %d)", i, prev, sp1, c, s)
+			}
+		}
+	}
+	// The original Centers slice must stay untouched (sorted by id).
+	for i := 1; i < len(cov.Centers); i++ {
+		if cov.Centers[i-1] >= cov.Centers[i] {
+			t.Fatal("CentersBySize disturbed Cover.Centers ordering")
+		}
+	}
+}

@@ -353,6 +353,74 @@ func (s *Searcher) Dijkstra(g Topology, src int, bound float64, out []float64) {
 	s.stats.Settled += settled
 }
 
+// DijkstraPruned runs a bounded Dijkstra from src, invoking visit on every
+// settled vertex in nondecreasing distance order (src first, at distance 0).
+// visit reports whether to expand v's outgoing edges; returning false prunes
+// the search below v — v stays settled, but no label improvement propagates
+// through it. This is the building block of pruned landmark labeling
+// (internal/labels): the visit callback consults the labels built so far and
+// cuts off every branch an earlier hub already covers, which is what keeps
+// label sets near-logarithmic instead of linear.
+func (s *Searcher) DijkstraPruned(g Topology, src int, bound float64, visit func(v int, d float64) bool) {
+	s.stats.Searches++
+	s.begin(g.N())
+	s.label(src, 0)
+	heapPush(&s.heap, 0, int32(src))
+	if f, ok := g.(*Frozen); ok {
+		s.prunedFrozen(f, bound, visit)
+	} else {
+		s.prunedTopology(g, bound, visit)
+	}
+}
+
+// prunedTopology is the generic DijkstraPruned loop.
+func (s *Searcher) prunedTopology(g Topology, bound float64, visit func(v int, d float64) bool) {
+	settled := int64(0)
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		s.done[v] = s.epoch
+		settled++
+		if !visit(v, it.dist) {
+			continue
+		}
+		for _, h := range g.Neighbors(v) {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				heapPush(&s.heap, nd, int32(h.To))
+			}
+		}
+	}
+	s.stats.Settled += settled
+}
+
+// prunedFrozen is the DijkstraPruned loop devirtualized over the CSR
+// representation.
+func (s *Searcher) prunedFrozen(f *Frozen, bound float64, visit func(v int, d float64) bool) {
+	settled := int64(0)
+	for len(s.heap) > 0 {
+		it := heapPop(&s.heap)
+		v := int(it.v)
+		if s.done[v] == s.epoch {
+			continue
+		}
+		s.done[v] = s.epoch
+		settled++
+		if !visit(v, it.dist) {
+			continue
+		}
+		r := f.rows[v]
+		for _, h := range f.slab[r.off : r.off+r.deg] {
+			if nd := it.dist + h.W; nd <= bound && s.label(h.To, nd) {
+				heapPush(&s.heap, nd, int32(h.To))
+			}
+		}
+	}
+	s.stats.Settled += settled
+}
+
 // HopsTo returns the hop distance (unweighted) from src to dst, with early
 // exit as soon as dst enters the BFS frontier.
 func (s *Searcher) HopsTo(g Topology, src, dst int) (int, bool) {

@@ -203,3 +203,59 @@ func TestDijkstraTargetSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("DijkstraTarget allocates %v per op in steady state, want 0", allocs)
 	}
 }
+
+// TestDijkstraPruned pins the pruned-expansion kernel the hub-label
+// builder (internal/labels) relies on: with a permissive visit callback it
+// must settle exactly the vertices plain Dijkstra settles, in distance
+// order, on both representations; and returning false from visit must
+// suppress expansion through that vertex without suppressing the visit
+// itself.
+func TestDijkstraPruned(t *testing.T) {
+	inst := randomUBG(t, 80, 901)
+	srch := graph.NewSearcher(inst.G.N())
+	for _, topo := range []graph.Topology{inst.G, graph.Freeze(inst.G)} {
+		ref := refBounded(inst.G, 3, math.Inf(1))
+		got := make(map[int]float64)
+		last := -1.0
+		srch.DijkstraPruned(topo, 3, graph.Inf, func(v int, d float64) bool {
+			if d < last {
+				t.Fatalf("settled out of order: %v after %v", d, last)
+			}
+			last = d
+			got[v] = d
+			return true
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("settled %d vertices, reference %d", len(got), len(ref))
+		}
+		for v, d := range ref {
+			if gd, ok := got[v]; !ok || math.Abs(gd-d) > 1e-9*(1+d) {
+				t.Fatalf("vertex %d: got %v ok=%v, want %v", v, gd, ok, d)
+			}
+		}
+	}
+
+	// Pruning at the source must visit the source alone.
+	count := 0
+	srch.DijkstraPruned(inst.G, 5, graph.Inf, func(v int, d float64) bool {
+		count++
+		if v != 5 || d != 0 {
+			t.Fatalf("first visit (%d, %v), want (5, 0)", v, d)
+		}
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("pruned-at-source visited %d vertices, want 1", count)
+	}
+
+	// The bound must cut expansion exactly like the bounded reference.
+	ref := refBounded(inst.G, 3, 0.9)
+	count = 0
+	srch.DijkstraPruned(inst.G, 3, 0.9, func(v int, d float64) bool {
+		count++
+		return true
+	})
+	if count != len(ref) {
+		t.Fatalf("bounded pruned search settled %d, reference %d", count, len(ref))
+	}
+}

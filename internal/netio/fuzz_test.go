@@ -1,0 +1,126 @@
+package netio
+
+// Native fuzz targets for the instance parser — the surface that reads
+// operator-supplied files (topoctld -in, topoctl convert). The contract
+// under fuzzing: arbitrary bytes either parse or fail with a clean error;
+// no panics, no misparsed instances (anything accepted must re-serialize
+// and re-parse to the same shape). FuzzReadFrom additionally drives the
+// gzip-sniffing file path, since a .gz header on garbage must fail
+// gracefully too.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+)
+
+// fuzzSeedInstance serializes a small valid instance.
+func fuzzSeedInstance(tb testing.TB) []byte {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1.5)
+	g.AddEdge(1, 2, 0.25)
+	inst := &Instance{
+		Points: []geom.Point{{0, 0}, {1, 0.5}, {2, 2}},
+		G:      g,
+		Alpha:  0.75,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, inst); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func netioSeeds(tb testing.TB) [][]byte {
+	valid := fuzzSeedInstance(tb)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(valid)
+	zw.Close()
+	return [][]byte{
+		{},
+		valid,
+		gz.Bytes(),
+		[]byte("ubg n=2 d=2 alpha=0.5\nv 0 0 0\n"),             // fewer vertices than declared
+		[]byte("ubg n=1 d=2 alpha=0.5\nv 0 0 0\ne 0 0 1\n"),    // self-loop edge
+		[]byte("ubg n=2 d=1 alpha=x\n"),                        // bad alpha
+		[]byte("# comment only\n"),                             // no header
+		[]byte("ubg n=2 d=2 alpha=0.5\nv 1 0 0\nv 0 1 1\n"),    // out-of-order ids
+		[]byte{0x1f, 0x8b, 0xff, 0xff},                         // gzip magic, garbage body
+		[]byte("ubg n=2 d=2 alpha=0.5\nv 0 0 0\nv 0 1 1\n"),    // duplicate id
+		[]byte("ubg n=2 d=2 alpha=0.5\nv 0 0\nv 1 1 1\nq x\n"), // wrong dim + unknown line
+	}
+}
+
+// FuzzRead fuzzes the text parser on arbitrary bytes. Accepted inputs
+// must survive a Write/Read round trip unchanged in shape (n, edges,
+// alpha) — the parser and serializer agreeing on the format is what makes
+// the corpus files in the repo trustworthy.
+func FuzzRead(f *testing.F) {
+	for _, s := range netioSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // clean rejection is the common, correct outcome
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, inst); err != nil {
+			t.Fatalf("re-serializing an accepted instance failed: %v", err)
+		}
+		inst2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing a serialized instance failed: %v", err)
+		}
+		if len(inst2.Points) != len(inst.Points) || inst2.G.M() != inst.G.M() || inst2.Alpha != inst.Alpha {
+			t.Fatalf("round trip changed shape: n %d->%d, m %d->%d, alpha %v->%v",
+				len(inst.Points), len(inst2.Points), inst.G.M(), inst2.G.M(), inst.Alpha, inst2.Alpha)
+		}
+	})
+}
+
+// FuzzReadFrom feeds arbitrary bytes through the file-opening path with
+// its gzip magic sniffing: plain bytes parse as text, bytes with a gzip
+// header must decompress first or fail cleanly — never panic, never hang.
+func FuzzReadFrom(f *testing.F) {
+	for _, s := range netioSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "inst.txt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFrom(path); err != nil {
+			return
+		}
+	})
+}
+
+// TestWriteSeedCorpus materializes the in-code seeds as committed corpus
+// files under testdata/fuzz/ (see the wal package's twin for rationale).
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	seeds := netioSeeds(t)
+	for _, target := range []string{"FuzzRead", "FuzzReadFrom"} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, "seed-"+strconv.Itoa(i)), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -97,7 +97,10 @@ func Read(r io.Reader) (*Instance, error) {
 					return nil, fmt.Errorf("netio: line %d: %w", line, err)
 				}
 			}
-			if n < 0 || d < 1 {
+			// d == 0 is only meaningful for an empty instance — it is what
+			// Write emits when there are no points to infer a dimension
+			// from, so Read must take it back (fuzz-found asymmetry).
+			if n < 0 || d < 0 || (d == 0 && n > 0) {
 				return nil, fmt.Errorf("netio: line %d: invalid header n=%d d=%d", line, n, d)
 			}
 			inst.Points = make([]geom.Point, n)

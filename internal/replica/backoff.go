@@ -1,0 +1,38 @@
+package replica
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff is the reconnect wait ladder: each failed attempt waits the
+// current rung plus up to 50% additive jitter (so a herd of followers
+// does not reconnect in lockstep), then doubles the rung up to max. A
+// clean stream end — the leader restarting, not a fault spiral — resets
+// the ladder to min so the follower reattaches promptly.
+type backoff struct {
+	min, max time.Duration
+	cur      time.Duration
+	// randInt63n is rand.Int63n unless a test injects a deterministic
+	// source to pin the jitter bounds.
+	randInt63n func(n int64) int64
+}
+
+func newBackoff(min, max time.Duration) *backoff {
+	return &backoff{min: min, max: max, cur: min, randInt63n: rand.Int63n}
+}
+
+// next returns how long to wait before the upcoming reconnect attempt
+// and advances the ladder: the wait is the current rung plus jitter in
+// [0, rung/2]; the rung then doubles (capped at max), or resets to min
+// when the previous stream ended cleanly.
+func (b *backoff) next(clean bool) time.Duration {
+	wait := b.cur + time.Duration(b.randInt63n(int64(b.cur)/2+1))
+	if b.cur *= 2; b.cur > b.max {
+		b.cur = b.max
+	}
+	if clean {
+		b.cur = b.min
+	}
+	return wait
+}

@@ -1,0 +1,60 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffLadder pins the deterministic shape of the ladder with an
+// injected jitter source: doubling from min, the cap at max, and the
+// reset on a clean stream end.
+func TestBackoffLadder(t *testing.T) {
+	b := newBackoff(100*time.Millisecond, 500*time.Millisecond)
+	b.randInt63n = func(int64) int64 { return 0 } // jitterless
+
+	// Failed attempts double: 100, 200, 400, then the cap holds at 500.
+	for i, want := range []time.Duration{100, 200, 400, 500, 500} {
+		if got := b.next(false); got != want*time.Millisecond {
+			t.Fatalf("attempt %d: wait %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+
+	// A clean end waits the current rung once more, then resets to min.
+	if got := b.next(true); got != 500*time.Millisecond {
+		t.Fatalf("clean end waited %v, want the current 500ms rung", got)
+	}
+	if got := b.next(false); got != 100*time.Millisecond {
+		t.Fatalf("after reset: wait %v, want min again", got)
+	}
+}
+
+// TestBackoffJitterBounds drives the ladder with the real jitter source
+// and asserts every wait lands in [rung, 1.5×rung] — the documented "up
+// to 50% added jitter" — and that the rung itself never exceeds max.
+func TestBackoffJitterBounds(t *testing.T) {
+	min, max := 2*time.Millisecond, 20*time.Millisecond
+	b := newBackoff(min, max)
+	rung := min
+	for i := 0; i < 200; i++ {
+		clean := i%17 == 0
+		wait := b.next(clean)
+		if wait < rung || wait > rung+rung/2 {
+			t.Fatalf("attempt %d: wait %v outside [%v, %v]", i, wait, rung, rung+rung/2)
+		}
+		if clean {
+			rung = min
+		} else if rung *= 2; rung > max {
+			rung = max
+		}
+		if b.cur != rung {
+			t.Fatalf("attempt %d: rung %v, want %v", i, b.cur, rung)
+		}
+	}
+
+	// The max-jitter edge exactly hits the 1.5× bound.
+	b = newBackoff(min, max)
+	b.randInt63n = func(n int64) int64 { return n - 1 }
+	if got, want := b.next(false), min+min/2; got != want {
+		t.Fatalf("max jitter wait %v, want exactly %v", got, want)
+	}
+}

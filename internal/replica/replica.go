@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -96,7 +95,7 @@ func New(opts Options) (*Client, error) {
 // Run replicates until ctx is cancelled. It returns ctx.Err() on
 // cancellation; any other exit is a bug.
 func (c *Client) Run(ctx context.Context) error {
-	backoff := c.opts.BackoffMin
+	bo := newBackoff(c.opts.BackoffMin, c.opts.BackoffMax)
 	for {
 		err := c.connectOnce(ctx)
 		if ctx.Err() != nil {
@@ -109,22 +108,15 @@ func (c *Client) Run(ctx context.Context) error {
 			c.st = nil
 		}
 		c.setStatus(false)
-		c.opts.Logf("replica: stream ended: %v (reconnecting in %s)", err, backoff)
 
-		// Exponential backoff with up to 50% added jitter.
-		wait := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		// A clean stream end (leader restart) is not a fault spiral: the
+		// ladder resets instead of doubling.
+		wait := bo.next(err == nil || errors.Is(err, io.EOF))
+		c.opts.Logf("replica: stream ended: %v (reconnecting in %s)", err, wait)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-time.After(wait):
-		}
-		if backoff *= 2; backoff > c.opts.BackoffMax {
-			backoff = c.opts.BackoffMax
-		}
-		if err == nil || errors.Is(err, io.EOF) {
-			// A clean stream end (leader restart) is not a fault spiral:
-			// restart the backoff ladder.
-			backoff = c.opts.BackoffMin
 		}
 		c.reconnects++
 	}

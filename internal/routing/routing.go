@@ -76,12 +76,22 @@ func (r Route) Hops() int {
 	return len(r.Path) - 1
 }
 
+// DistanceOracle answers point-to-point distances over the router's
+// topology without searching. Query returns the exact distance (graph.Inf
+// when unreachable) and true when it can certify the answer; false means
+// the caller must fall back to a direct search. internal/labels.Oracle is
+// the implementation; the interface keeps routing free of that dependency.
+type DistanceOracle interface {
+	Query(s, t int) (float64, bool)
+}
+
 // Router routes packets over a fixed topology with node positions. Any
 // read-only topology works: the serving layer hands it frozen (immutable
 // CSR) snapshots, tests and experiments hand it mutable graphs.
 type Router struct {
-	g   graph.Topology
-	pts []geom.Point
+	g      graph.Topology
+	pts    []geom.Point
+	oracle DistanceOracle
 }
 
 // NewRouter builds a router for topology g embedded at pts.
@@ -90,6 +100,32 @@ func NewRouter(g graph.Topology, pts []geom.Point) (*Router, error) {
 		return nil, fmt.Errorf("routing: %d vertices but %d points", g.N(), len(pts))
 	}
 	return &Router{g: g, pts: pts}, nil
+}
+
+// SetDistanceOracle attaches a distance oracle for Distance to consult
+// before searching. The oracle must answer for the router's own topology;
+// nil detaches. Set it before sharing the router across goroutines.
+func (r *Router) SetDistanceOracle(o DistanceOracle) { r.oracle = o }
+
+// Distance returns the exact shortest-path distance from s to t over the
+// router's topology: the attached oracle when it certifies the answer
+// (allocation-free label intersection), otherwise one bidirectional
+// Dijkstra with the caller's Searcher. fromLabels reports which path
+// answered — the value is exact either way, graph.Inf when unreachable.
+func (r *Router) Distance(srch *graph.Searcher, s, t int) (d float64, fromLabels bool, err error) {
+	if s < 0 || s >= r.g.N() || t < 0 || t >= r.g.N() {
+		return 0, false, fmt.Errorf("%w: endpoints (%d,%d), n=%d", ErrOutOfRange, s, t, r.g.N())
+	}
+	if r.oracle != nil {
+		if d, ok := r.oracle.Query(s, t); ok {
+			return d, true, nil
+		}
+	}
+	d, ok := srch.DijkstraTarget(r.g, s, t, graph.Inf)
+	if !ok {
+		d = graph.Inf
+	}
+	return d, false, nil
 }
 
 // Route routes one packet from s to t under the scheme. Out-of-range

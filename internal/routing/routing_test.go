@@ -299,3 +299,58 @@ func TestRouteWithReusesSearcher(t *testing.T) {
 		}
 	}
 }
+
+// fixedOracle certifies a canned answer for one pair and declines others.
+type fixedOracle struct {
+	s, t int
+	d    float64
+}
+
+func (o fixedOracle) Query(s, t int) (float64, bool) {
+	if (s == o.s && t == o.t) || (s == o.t && t == o.s) {
+		return o.d, true
+	}
+	return 0, false
+}
+
+func TestDistanceOracleFirstThenFallback(t *testing.T) {
+	g, pts := lineWorld()
+	r, err := NewRouter(g, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srch := graph.NewSearcher(g.N())
+
+	// No oracle: fallback search answers, fromLabels false.
+	d, fromLabels, err := r.Distance(srch, 0, 3)
+	if err != nil || fromLabels || d != 3 {
+		t.Fatalf("Distance(0,3) = %v, fromLabels=%v, err=%v; want 3 via search", d, fromLabels, err)
+	}
+
+	// Oracle certifies one pair; that pair short-circuits, others search.
+	r.SetDistanceOracle(fixedOracle{s: 0, t: 3, d: 3})
+	d, fromLabels, err = r.Distance(srch, 0, 3)
+	if err != nil || !fromLabels || d != 3 {
+		t.Fatalf("Distance(0,3) = %v, fromLabels=%v, err=%v; want 3 via labels", d, fromLabels, err)
+	}
+	d, fromLabels, err = r.Distance(srch, 1, 3)
+	if err != nil || fromLabels || d != 2 {
+		t.Fatalf("Distance(1,3) = %v, fromLabels=%v, err=%v; want 2 via fallback", d, fromLabels, err)
+	}
+
+	// Out-of-range endpoints wrap ErrOutOfRange, like Route.
+	if _, _, err := r.Distance(srch, 0, 99); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Distance(0,99) err = %v, want ErrOutOfRange", err)
+	}
+
+	// Unreachable pairs report graph.Inf, not an error.
+	g2 := graph.New(2)
+	r2, err := NewRouter(g2, pts[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err = r2.Distance(graph.NewSearcher(2), 0, 1)
+	if err != nil || !math.IsInf(d, 1) {
+		t.Fatalf("disconnected Distance = %v, err=%v; want +Inf", d, err)
+	}
+}

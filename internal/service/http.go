@@ -40,6 +40,12 @@ type NeighborsResponse struct {
 	Version    uint64     `json:"version"`
 }
 
+// DistanceRequest is the POST /distance body.
+type DistanceRequest struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
 // MutateRequest is the POST /mutate body.
 type MutateRequest struct {
 	Ops []Op `json:"ops"`
@@ -72,6 +78,8 @@ func ParseScheme(name string) (routing.Scheme, error) {
 //	GET  /stats                    topology + serving statistics
 //	GET  /node/{id}/neighbors      a node's spanner adjacency
 //	POST /route                    route one packet
+//	POST /distance                 exact point-to-point distance (labels
+//	                               when enabled, search fallback otherwise)
 //	POST /mutate                   apply a mutation batch (leader only)
 //
 // Every handler resolves the current snapshot exactly once, so each
@@ -90,6 +98,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /node/{id}/neighbors", s.handleNeighbors)
 	mux.HandleFunc("POST /route", s.handleRoute)
+	mux.HandleFunc("POST /distance", s.handleDistance)
 	mux.HandleFunc("POST /mutate", s.handleMutate)
 	return mux
 }
@@ -174,6 +183,20 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		Version:   res.Version,
 		Cached:    res.Cached,
 	})
+}
+
+func (s *Service) handleDistance(w http.ResponseWriter, r *http.Request) {
+	var req DistanceRequest
+	if err := decodeJSON(w, r, 1<<16, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.Distance(req.Src, req.Dst)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/ubg"
+)
+
+// liveIDs collects the live slots of a snapshot.
+func liveIDs(snap *Snapshot) []int {
+	var ids []int
+	for id, a := range snap.Alive {
+		if a {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// checkDistances pins snap.Distance against a direct bidirectional search
+// on the snapshot's own spanner for sampled live pairs, and returns how
+// many answers the label oracle certified.
+func checkDistances(t *testing.T, snap *Snapshot, rng *rand.Rand, pairs int) (hits int) {
+	t.Helper()
+	ids := liveIDs(snap)
+	if len(ids) < 2 {
+		return 0
+	}
+	srch := graph.AcquireSearcher(len(snap.Alive))
+	defer graph.ReleaseSearcher(srch)
+	for i := 0; i < pairs; i++ {
+		s, d := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		res, err := snap.Distance(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, ok := srch.DijkstraTarget(snap.Spanner, s, d, graph.Inf)
+		if res.Reachable != ok {
+			t.Fatalf("Distance(%d,%d) reachable=%v, reference %v", s, d, res.Reachable, ok)
+		}
+		if ok && math.Abs(res.Distance-ref) > 1e-9*(1+math.Abs(ref)) {
+			t.Fatalf("Distance(%d,%d) = %v (fromLabels=%v), reference %v", s, d, res.Distance, res.FromLabels, ref)
+		}
+		if res.Version != snap.Version {
+			t.Fatalf("result version %d != snapshot version %d", res.Version, snap.Version)
+		}
+		if res.FromLabels {
+			hits++
+		}
+	}
+	return hits
+}
+
+// TestDistanceLabelsDifferentialUnderChurn is the serving-layer leg of the
+// differential harness: a labels-enabled service is churned through
+// join/leave/move batches and every /distance answer — label hit or search
+// fallback — must equal a direct search on the same snapshot's spanner.
+func TestDistanceLabelsDifferentialUnderChurn(t *testing.T) {
+	svc := testService(t, 72, Options{Labels: true})
+	rng := rand.New(rand.NewSource(9))
+	side := ubg.DensitySide(72, 2, 1, 8)
+
+	if hits := checkDistances(t, svc.Snapshot(), rng, 60); hits == 0 {
+		t.Fatal("fresh labels-enabled service answered no query from labels")
+	}
+
+	for batch := 0; batch < 12; batch++ {
+		var ops []Op
+		for k := 0; k < 3; k++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				ops = append(ops, Op{Kind: OpJoin, Point: geom.Point{rng.Float64() * side, rng.Float64() * side}})
+			case 2:
+				ids := liveIDs(svc.Snapshot())
+				if len(ids) > 8 {
+					ops = append(ops, Op{Kind: OpLeave, ID: ids[rng.Intn(len(ids))]})
+				}
+			default:
+				ids := liveIDs(svc.Snapshot())
+				if len(ids) > 0 {
+					ops = append(ops, Op{
+						Kind:  OpMove,
+						ID:    ids[rng.Intn(len(ids))],
+						Point: geom.Point{rng.Float64() * side, rng.Float64() * side},
+					})
+				}
+			}
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		if _, err := svc.Mutate(ops); err != nil {
+			t.Fatal(err)
+		}
+		checkDistances(t, svc.Snapshot(), rng, 40)
+	}
+
+	st := svc.Stats()
+	if !st.LabelsEnabled {
+		t.Fatal("stats: labels_enabled false on a labels-enabled service")
+	}
+	if st.LabelHits == 0 {
+		t.Fatal("stats: no label hits recorded across the whole run")
+	}
+}
+
+// TestDistanceWithoutLabels pins the fallback-only path: a service without
+// the oracle answers every query exactly via search, never from labels.
+func TestDistanceWithoutLabels(t *testing.T) {
+	svc := testService(t, 48, Options{})
+	snap := svc.Snapshot()
+	rng := rand.New(rand.NewSource(10))
+	checkDistances(t, snap, rng, 40)
+	st := svc.Stats()
+	if st.LabelsEnabled || st.LabelHits != 0 {
+		t.Fatalf("labels-off service reported label activity: %+v", st)
+	}
+	if st.LabelFallbacks == 0 {
+		t.Fatal("fallback counter did not move")
+	}
+	if _, err := snap.Distance(0, len(snap.Alive)+5); err == nil {
+		t.Fatal("Distance accepted an out-of-range node")
+	}
+}
+
+func TestHTTPDistance(t *testing.T) {
+	svc := testService(t, 64, Options{Labels: true})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	var res DistanceResult
+	postJSON(t, ts.URL+"/distance", DistanceRequest{Src: 0, Dst: 5}, 200, &res)
+	if !res.Reachable || res.Distance <= 0 {
+		t.Fatalf("POST /distance (0,5) = %+v; want a reachable positive distance", res)
+	}
+	if res.Version != svc.Snapshot().Version {
+		t.Fatalf("distance version %d != snapshot %d", res.Version, svc.Snapshot().Version)
+	}
+
+	// Self-distance is zero and reachable.
+	postJSON(t, ts.URL+"/distance", DistanceRequest{Src: 3, Dst: 3}, 200, &res)
+	if !res.Reachable || res.Distance != 0 {
+		t.Fatalf("POST /distance (3,3) = %+v; want 0, reachable", res)
+	}
+
+	// Unknown node → 404; malformed body → 400.
+	postJSON(t, ts.URL+"/distance", DistanceRequest{Src: 0, Dst: 9999}, 404, nil)
+	postJSON(t, ts.URL+"/distance", map[string]any{"src": 0, "bogus": 1}, 400, nil)
+
+	var st Stats
+	getJSON(t, ts.URL+"/stats", 200, &st)
+	if !st.LabelsEnabled || st.LabelEntries == 0 || st.LabelBytesPerVertex <= 0 {
+		t.Fatalf("stats lacks label oracle info: %+v", st)
+	}
+}

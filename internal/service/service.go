@@ -39,6 +39,7 @@ import (
 	"topoctl/internal/dynamic"
 	"topoctl/internal/geom"
 	"topoctl/internal/graph"
+	"topoctl/internal/labels"
 	"topoctl/internal/routing"
 )
 
@@ -75,6 +76,14 @@ type Options struct {
 	// StretchSample bounds the base-edge sample behind the /stats live
 	// stretch estimate (default 256; the estimate is exact below it).
 	StretchSample int
+	// Labels enables the hub-label distance oracle (internal/labels): the
+	// writer builds exact per-vertex label sets at every publish and
+	// /distance queries answer from an allocation-free label intersection
+	// instead of a bidirectional Dijkstra, falling back to the search when
+	// the oracle cannot certify (after removals, until its rebuild
+	// horizon). Off by default — label construction costs a few
+	// milliseconds per rebuild, which embedded/test users may not want.
+	Labels bool
 	// Seed drives the deterministic stretch-sample shuffle.
 	Seed int64
 	// InitialVersion stamps the first published snapshot (default 1). A
@@ -157,6 +166,8 @@ type counters struct {
 	cacheEvict atomic.Uint64
 	mutOps     atomic.Uint64
 	mutBatches atomic.Uint64
+	labelHits  atomic.Uint64
+	labelFalls atomic.Uint64
 }
 
 // Service serves topology queries over atomically swapped snapshots while
@@ -171,6 +182,12 @@ type Service struct {
 	ready     atomic.Bool
 	follower  bool
 	repl      atomic.Pointer[ReplicaStatus]
+
+	// oracle is the current hub-label distance oracle (nil when disabled
+	// or on followers). It is owned by the writer: publish() builds or
+	// incrementally updates it before each snapshot swap, and readers only
+	// ever see it through the immutable snapshot they loaded.
+	oracle *labels.Oracle
 
 	reqs      chan *mutateReq
 	stop      chan struct{}
@@ -251,7 +268,9 @@ func NewFollower(opts Options) *Service {
 // follower applying the leader's delta frames. points, alive, and the
 // graphs must be immutable from here on (the WAL state machine
 // guarantees this: every Apply builds fresh metadata slices and frozen
-// successors). The first publish marks the follower ready.
+// successors). The first publish marks the follower ready. Followers carry
+// no hub-label oracle — /distance still answers exactly, via the search
+// fallback.
 func (s *Service) PublishFrozen(version uint64, points []geom.Point, alive []bool, live int, base, sp *graph.Frozen) error {
 	router, err := routing.NewRouter(sp, points)
 	if err != nil {
@@ -345,6 +364,17 @@ func (s *Service) Route(scheme routing.Scheme, src, dst int) (RouteResult, error
 		return RouteResult{}, ErrNotReady
 	}
 	return snap.Route(scheme, src, dst)
+}
+
+// Distance answers one exact distance query against the current snapshot
+// (labels when enabled and certifiable, search fallback otherwise). Use
+// Snapshot().Distance directly for one-version semantics across queries.
+func (s *Service) Distance(src, dst int) (DistanceResult, error) {
+	snap := s.Snapshot()
+	if snap == nil {
+		return DistanceResult{}, ErrNotReady
+	}
+	return snap.Distance(src, dst)
 }
 
 // Mutate applies a batch of topology mutations through the writer
@@ -443,11 +473,25 @@ func (s *Service) publish(eng *dynamic.Engine) *Snapshot {
 	if old := s.snap.Load(); old != nil {
 		version = old.Version + 1
 	}
+	if s.opts.Labels {
+		// Maintain the hub-label oracle from the same touched-row deltas
+		// the frozen export consumed: additions-only batches extend it in
+		// place (structurally shared with the predecessor), removals flip
+		// it stale (queries fall back to search) until its rebuild horizon.
+		if s.oracle == nil {
+			s.oracle = labels.Build(sp, labels.Options{})
+		} else {
+			s.oracle = s.oracle.Update(sp, eng.LastExportTouched())
+		}
+	}
 	// The router constructor only fails on a length mismatch, which Export
 	// rules out (slot-indexed points and graphs share capacity).
 	router, err := routing.NewRouter(sp, points)
 	if err != nil {
 		panic(err)
+	}
+	if s.oracle != nil {
+		router.SetDistanceOracle(s.oracle)
 	}
 	snap := &Snapshot{
 		Version:       version,
@@ -463,6 +507,7 @@ func (s *Service) publish(eng *dynamic.Engine) *Snapshot {
 		live:          eng.N(),
 		stretchSample: s.opts.StretchSample,
 		seed:          s.opts.Seed,
+		oracle:        s.oracle,
 	}
 	snap.bboxLo, snap.bboxHi = bbox(points, s.opts.Dim)
 	s.snap.Store(snap)
@@ -525,6 +570,17 @@ type Stats struct {
 	MutationOps    uint64  `json:"mutation_ops"`
 	MutationBatch  uint64  `json:"mutation_batches"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// Hub-label distance oracle state (all zero when Options.Labels is
+	// off). LabelHits counts /distance answers served from labels,
+	// LabelFallbacks the ones that fell back to a search (oracle stale or
+	// absent); LabelEntries / LabelBytesPerVertex size the current label
+	// sets; LabelStale reports fallback mode pending rebuild.
+	LabelsEnabled       bool    `json:"labels_enabled"`
+	LabelHits           uint64  `json:"label_hits"`
+	LabelFallbacks      uint64  `json:"label_fallbacks"`
+	LabelEntries        int     `json:"label_entries"`
+	LabelBytesPerVertex float64 `json:"label_bytes_per_vertex"`
+	LabelStale          bool    `json:"label_stale"`
 	// Role is "leader" or "follower"; Ready mirrors GET /readyz. Replica
 	// carries the replication-link status on followers (nil on leaders).
 	Role    string         `json:"role"`
@@ -553,30 +609,40 @@ func (s *Service) Stats() Stats {
 	if math.IsInf(est, 1) {
 		est = -1 // JSON has no Inf; -1 flags a disconnected sampled edge
 	}
+	var lst labels.Stats
+	if snap.oracle != nil {
+		lst = snap.oracle.Stats()
+	}
 	return Stats{
-		Version:         snap.Version,
-		Nodes:           snap.live,
-		Slots:           len(snap.Alive),
-		BaseEdges:       snap.Base.M(),
-		SpannerEdges:    snap.Spanner.M(),
-		SpannerWeight:   snap.Spanner.TotalWeight(),
-		MaxDegree:       snap.Spanner.MaxDegree(),
-		StretchBound:    snap.T,
-		StretchEstimate: est,
-		StretchExact:    exact,
-		BBoxLo:          snap.bboxLo,
-		BBoxHi:          snap.bboxHi,
-		Routes:          s.ctr.routes.Load(),
-		Delivered:       s.ctr.delivered.Load(),
-		CacheHits:       s.ctr.cacheHits.Load(),
-		CacheMisses:     s.ctr.cacheMiss.Load(),
-		CacheEvictions:  s.ctr.cacheEvict.Load(),
-		CacheEntries:    snap.cache.len(),
-		MutationOps:     s.ctr.mutOps.Load(),
-		MutationBatch:   s.ctr.mutBatches.Load(),
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Role:            role,
-		Ready:           s.Ready(),
-		Replica:         s.replicaStatus(),
+		Version:             snap.Version,
+		Nodes:               snap.live,
+		Slots:               len(snap.Alive),
+		BaseEdges:           snap.Base.M(),
+		SpannerEdges:        snap.Spanner.M(),
+		SpannerWeight:       snap.Spanner.TotalWeight(),
+		MaxDegree:           snap.Spanner.MaxDegree(),
+		StretchBound:        snap.T,
+		StretchEstimate:     est,
+		StretchExact:        exact,
+		BBoxLo:              snap.bboxLo,
+		BBoxHi:              snap.bboxHi,
+		Routes:              s.ctr.routes.Load(),
+		Delivered:           s.ctr.delivered.Load(),
+		CacheHits:           s.ctr.cacheHits.Load(),
+		CacheMisses:         s.ctr.cacheMiss.Load(),
+		CacheEvictions:      s.ctr.cacheEvict.Load(),
+		CacheEntries:        snap.cache.len(),
+		MutationOps:         s.ctr.mutOps.Load(),
+		MutationBatch:       s.ctr.mutBatches.Load(),
+		UptimeSeconds:       time.Since(s.start).Seconds(),
+		LabelsEnabled:       snap.oracle != nil,
+		LabelHits:           s.ctr.labelHits.Load(),
+		LabelFallbacks:      s.ctr.labelFalls.Load(),
+		LabelEntries:        lst.Entries,
+		LabelBytesPerVertex: lst.BytesPerVertex,
+		LabelStale:          lst.Stale,
+		Role:                role,
+		Ready:               s.Ready(),
+		Replica:             s.replicaStatus(),
 	}
 }

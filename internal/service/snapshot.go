@@ -8,6 +8,7 @@ import (
 
 	"topoctl/internal/geom"
 	"topoctl/internal/graph"
+	"topoctl/internal/labels"
 	"topoctl/internal/routing"
 )
 
@@ -40,6 +41,10 @@ type Snapshot struct {
 	searchers chan *graph.Searcher // shared with the service; see acquire
 	cache     *routeCache
 	ctr       *counters // service-lifetime counters, shared across snapshots
+	// oracle is the hub-label distance oracle over Spanner, nil when
+	// Options.Labels is off (then Distance always searches). Immutable,
+	// like everything else here; successors carry their own.
+	oracle *labels.Oracle
 
 	live   int
 	bboxLo geom.Point
@@ -142,6 +147,50 @@ func (s *Snapshot) Route(scheme routing.Scheme, src, dst int) (RouteResult, erro
 		}
 	}
 	s.cache.put(key, stored)
+	return res, nil
+}
+
+// DistanceResult is one answered point-to-point distance query.
+type DistanceResult struct {
+	// Distance is the exact spanner shortest-path distance (0 when
+	// unreachable — check Reachable; JSON cannot carry +Inf).
+	Distance float64 `json:"distance"`
+	// Reachable reports whether any spanner path connects the endpoints.
+	Reachable bool `json:"reachable"`
+	// FromLabels reports whether the hub-label oracle certified the answer
+	// (false: served by a bidirectional Dijkstra fallback). The value is
+	// exact either way.
+	FromLabels bool `json:"from_labels"`
+	// Version is the topology version this result is valid against.
+	Version uint64 `json:"version"`
+}
+
+// Distance answers one exact point-to-point distance query against this
+// frozen topology version: hub labels first when the snapshot carries an
+// oracle (allocation-free), bidirectional Dijkstra otherwise or whenever
+// the oracle declines to certify. src/dst must name live nodes.
+func (s *Snapshot) Distance(src, dst int) (DistanceResult, error) {
+	if err := s.checkNode(src); err != nil {
+		return DistanceResult{}, err
+	}
+	if err := s.checkNode(dst); err != nil {
+		return DistanceResult{}, err
+	}
+	srch := s.acquire()
+	d, fromLabels, err := s.router.Distance(srch, src, dst)
+	s.release(srch)
+	if err != nil {
+		return DistanceResult{}, err
+	}
+	if fromLabels {
+		s.ctr.labelHits.Add(1)
+	} else {
+		s.ctr.labelFalls.Add(1)
+	}
+	res := DistanceResult{FromLabels: fromLabels, Version: s.Version}
+	if d < graph.Inf {
+		res.Distance, res.Reachable = d, true
+	}
 	return res, nil
 }
 
