@@ -31,9 +31,10 @@ check: vet fmt test
 # Mutate/Route traffic — and the WAL + replication layer, whose stream
 # subscribers race the log writer. internal/labels rides along because its
 # differential harness churns a live dynamic engine while querying the
-# oracle the same way concurrent service readers do.
+# oracle the same way concurrent service readers do. internal/analyze is
+# here for its parallel edge scans and the differential impact fuzz.
 race:
-	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ ./internal/service/ ./internal/wal/ ./internal/replica/ ./internal/labels/ .
+	$(GO) test -race ./internal/graph/ ./internal/metrics/ ./internal/exp/ ./internal/dynamic/ ./internal/service/ ./internal/analyze/ ./internal/wal/ ./internal/replica/ ./internal/labels/ .
 
 # Short native-fuzz pass over the untrusted-byte decode surfaces: the WAL
 # record/frame/checkpoint decoders (what a follower reads off the wire and
@@ -61,7 +62,7 @@ cover:
 
 # Benchmark smoke: one iteration of each micro-benchmark with allocation
 # accounting, to catch perf regressions that change allocs/op.
-BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn|BenchmarkService|BenchmarkRouteUncached|BenchmarkRouteLabel|BenchmarkLabelBuild
+BENCH_PATTERN = BenchmarkSeqGreedy|BenchmarkStretchVerification|BenchmarkCoreBuild|BenchmarkUBGBuild|BenchmarkChurn|BenchmarkService|BenchmarkRouteUncached|BenchmarkRouteLabel|BenchmarkLabelBuild|BenchmarkAnalyze
 BENCH_PKGS = . ./internal/service/
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10x $(BENCH_PKGS)
@@ -122,6 +123,10 @@ serve-smoke:
 	curl -fsS http://$(SMOKE_ADDR)/healthz; \
 	curl -fsS -X POST -d '{"scheme":"shortest-path","src":0,"dst":13}' http://$(SMOKE_ADDR)/route; \
 	curl -fsS http://$(SMOKE_ADDR)/stats; \
+	curl -fsS -X POST -d '{"vertices":[3]}' http://$(SMOKE_ADDR)/analyze/impact >/dev/null; \
+	curl -fsS -X POST -d '{"center":0,"hops":2}' http://$(SMOKE_ADDR)/analyze/around >/dev/null; \
+	curl -fsS -X POST -d '{"src":0,"dst":13}' http://$(SMOKE_ADDR)/analyze/route; \
+	curl -fsS 'http://$(SMOKE_ADDR)/analyze/divergence?sample=64' >/dev/null; \
 	echo "serve-smoke OK"
 
 # Crash-recovery smoke of the durable daemon: boot it with a WAL, mutate,

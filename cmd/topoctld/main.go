@@ -1,7 +1,11 @@
 // Command topoctld is the topology query daemon: it loads (or generates) a
 // network deployment, builds and incrementally maintains its t-spanner,
 // and serves concurrent route / neighborhood / statistics queries over
-// HTTP while mutation batches stream in.
+// HTTP while mutation batches stream in. The /analyze family answers
+// operational what-ifs over the same frozen snapshots: failure impact
+// (/analyze/impact), k-hop neighborhoods as Cytoscape JSON
+// (/analyze/around), per-hop route explanations (/analyze/route), and
+// base-vs-spanner divergence (/analyze/divergence).
 //
 // Subcommands:
 //

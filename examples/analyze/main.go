@@ -1,0 +1,112 @@
+// Analyze: topology health and failure-impact analytics over a frozen
+// snapshot.
+//
+// Operating an overlay means asking "what if" questions without touching
+// the live topology: which nodes lose service if this rack goes dark, why
+// did that route cost what it cost, how far has the maintained spanner
+// drifted from the base graph it approximates. This example runs the
+// analytics layer (internal/analyze) through the serving layer's
+// snapshot methods — the same code paths cmd/topoctld exposes under
+// /analyze. It simulates a region failure and reports the blast radius,
+// explains one route hop by hop against the base-graph optimum, and
+// summarises base-vs-spanner divergence. It finishes by exporting a
+// 2-hop neighborhood as Cytoscape.js elements JSON on stdout — paste it
+// into a Cytoscape sandbox to see the subgraph.
+//
+//	go run ./examples/analyze
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"topoctl/internal/analyze"
+	"topoctl/internal/geom"
+	"topoctl/internal/service"
+	"topoctl/internal/ubg"
+)
+
+func main() {
+	if err := run(os.Stdout, 120); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, n int) error {
+	side := ubg.DensitySide(n, 2, 1, 8) // expected base degree ~8
+	pts := geom.GeneratePoints(geom.CloudConfig{
+		Kind: geom.CloudUniform, N: n, Dim: 2, Side: side, Seed: 23,
+	})
+	svc, err := service.New(pts, service.Options{T: 1.5})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	snap := svc.Snapshot()
+	st := svc.Stats()
+	fmt.Fprintf(w, "analyzing %d nodes at topology v%d: %d base links, %d spanner links (t = %.2f)\n\n",
+		st.Nodes, snap.Version, st.BaseEdges, st.SpannerEdges, st.StretchBound)
+
+	// --- Failure impact: kill every node in one quadrant of the deployment
+	// area and measure the blast radius among the survivors.
+	imp, err := snap.AnalyzeImpact(analyze.ImpactRequest{
+		BoxLo: geom.Point{0, 0},
+		BoxHi: geom.Point{side / 2, side / 2},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "region failure [0,%.1f]x[0,%.1f]: %d nodes down, %d survive\n",
+		side/2, side/2, imp.FaultedCount, imp.Survivors)
+	fmt.Fprintf(w, "  components %d -> %d (largest %d -> %d)\n",
+		imp.ComponentsBefore, imp.ComponentsAfter, imp.LargestBefore, imp.LargestAfter)
+	fmt.Fprintf(w, "  survivors cut off from their main fragment: %d\n", imp.UnreachableCount)
+	fmt.Fprintf(w, "  surviving base edges re-verified: %d (over-stretch %d, disconnected %d, worst stretch %.4f)\n\n",
+		imp.BaseEdgesChecked, imp.OverStretch, imp.DisconnectedPairs, imp.WorstStretch)
+
+	// --- Route explanation: the spanner path hop by hop, against the base
+	// optimum the stretch bound is measured from.
+	exp, err := snap.AnalyzeRoute(service.AnalyzeRouteRequest{Src: 0, Dst: n / 2})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "route %d -> %d explained: cost %.3f over %d hops, base optimum %.3f, stretch %.4f (bound %.2f holds: %v)\n",
+		exp.Src, exp.Dst, exp.SpannerCost, len(exp.Path), exp.BaseCost, exp.Stretch, exp.Bound, exp.WithinBound)
+	for _, h := range exp.Path {
+		fmt.Fprintf(w, "  %3d -> %3d  weight %.3f  cumulative %.3f\n", h.From, h.To, h.Weight, h.Cumulative)
+	}
+	fmt.Fprintln(w)
+
+	// --- Divergence: how much sparser the spanner is than the base graph,
+	// and a sampled stretch histogram over base edges.
+	div, err := snap.AnalyzeDivergence(analyze.DivergenceRequest{Sample: 128, Buckets: 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "divergence: %d of %d base edges kept (%d dropped), weight ratio %.3f\n",
+		div.SharedEdges, div.BaseEdges, div.BaseOnly, div.WeightRatio)
+	fmt.Fprintf(w, "  stretch over %d sampled base edges (exact sweep: %v), worst %.4f, over bound: %d\n",
+		div.SampledEdges, div.Exact, div.WorstStretch, div.OverBound)
+	for _, b := range div.Histogram {
+		fmt.Fprintf(w, "  [%.3f, %.3f): %d\n", b.Lo, b.Hi, b.Count)
+	}
+	fmt.Fprintln(w)
+
+	// --- Cytoscape export: the 2-hop ball around a node, in the elements
+	// JSON shape cytoscape.js loads directly.
+	ball, err := snap.AnalyzeAround(analyze.AroundRequest{Center: 0, Hops: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "2-hop spanner ball around node 0: %d nodes, %d edges — Cytoscape elements JSON:\n",
+		ball.Nodes, ball.Edges)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Elements analyze.CytoElements `json:"elements"`
+	}{ball.Elements})
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall smoke-tests the example body at a small instance size and
+// checks the Cytoscape export at the end is loadable JSON.
+func TestRunSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 60); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"analyzing 60 nodes", "region failure", "route 0 -> 30 explained:",
+		"divergence:", "Cytoscape elements JSON:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Everything after the export banner must parse as the elements doc.
+	_, jsonPart, ok := strings.Cut(out, "JSON:\n")
+	if !ok {
+		t.Fatal("no JSON export section")
+	}
+	var doc struct {
+		Elements struct {
+			Nodes []json.RawMessage `json:"nodes"`
+			Edges []json.RawMessage `json:"edges"`
+		} `json:"elements"`
+	}
+	if err := json.Unmarshal([]byte(jsonPart), &doc); err != nil {
+		t.Fatalf("export is not valid elements JSON: %v\n%s", err, jsonPart)
+	}
+	if len(doc.Elements.Nodes) == 0 {
+		t.Fatal("export has no nodes")
+	}
+}

@@ -1,0 +1,381 @@
+package analyze
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/greedy"
+)
+
+// lineView builds a 5-vertex path graph 0-1-2-3-4 with unit weights and
+// 1-D positions at x = vertex id; spanner == base.
+func lineView() View {
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	pts := make([]geom.Point, 5)
+	for i := range pts {
+		pts[i] = geom.Point{float64(i), 0}
+	}
+	return View{Points: pts, Base: g, Spanner: g, T: 2}
+}
+
+func TestImpactRegionBox(t *testing.T) {
+	v := lineView()
+	rep, err := Impact(v, ImpactRequest{
+		BoxLo: geom.Point{0.5, -1},
+		BoxHi: geom.Point{2.5, 1},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(rep.Faulted, []int{1, 2}) {
+		t.Fatalf("box faulted %v, want [1 2]", rep.Faulted)
+	}
+	// Killing 1 and 2 leaves {0} and {3,4}; the main fragment is {3,4},
+	// so vertex 0 is newly unreachable.
+	if !equalInts(rep.Unreachable, []int{0}) || rep.UnreachableCount != 1 {
+		t.Fatalf("unreachable %v (count %d), want [0]", rep.Unreachable, rep.UnreachableCount)
+	}
+	if rep.ComponentsBefore != 1 || rep.ComponentsAfter != 2 {
+		t.Fatalf("components %d -> %d, want 1 -> 2", rep.ComponentsBefore, rep.ComponentsAfter)
+	}
+}
+
+func TestImpactBadRequests(t *testing.T) {
+	v := lineView()
+	if _, err := Impact(v, ImpactRequest{BoxLo: geom.Point{0}}, Options{}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("half box: err = %v, want ErrBadQuery", err)
+	}
+	if _, err := Impact(v, ImpactRequest{Vertices: []int{99}}, Options{}); !errors.Is(err, ErrUnknownVertex) {
+		t.Fatalf("out of range: err = %v, want ErrUnknownVertex", err)
+	}
+}
+
+func TestImpactRespectsAliveMaskAndCaps(t *testing.T) {
+	v := lineView()
+	v.Alive = []bool{true, true, true, true, false} // vertex 4 already dead
+	// Faulting an already-dead vertex is a no-op, not an error.
+	rep, err := Impact(v, ImpactRequest{Vertices: []int{4, 1}, MaxUnreachable: 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(rep.Faulted, []int{1}) {
+		t.Fatalf("faulted %v, want [1]", rep.Faulted)
+	}
+	if rep.Survivors != 3 {
+		t.Fatalf("survivors %d, want 3", rep.Survivors)
+	}
+	// Killing 1 leaves {0} and {2,3}: vertex 0 is cut off.
+	if !equalInts(rep.Unreachable, []int{0}) {
+		t.Fatalf("unreachable %v, want [0]", rep.Unreachable)
+	}
+
+	capped, err := Impact(v, ImpactRequest{Vertices: []int{1}, MaxUnreachable: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Unreachable) != 1 || capped.UnreachableCount != 1 {
+		t.Fatalf("capped unreachable %v count %d", capped.Unreachable, capped.UnreachableCount)
+	}
+}
+
+func TestImpactTimeCapTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 0.1+rng.Float64())
+	}
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, 0.1+rng.Float64())
+		}
+	}
+	v := View{Base: g, Spanner: g, T: 2}
+	rep, err := Impact(v, ImpactRequest{Vertices: []int{0}}, Options{MaxDuration: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("1ns cap did not truncate the scan")
+	}
+	if rep.BaseEdgesChecked >= g.M() {
+		t.Fatalf("truncated scan claims %d of %d edges checked", rep.BaseEdgesChecked, g.M())
+	}
+}
+
+func TestAroundShapesCytoscapeJSON(t *testing.T) {
+	v := lineView()
+	rep, err := Around(v, AroundRequest{Center: 2, Hops: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 3 || rep.Edges != 2 || rep.Truncated {
+		t.Fatalf("ball around 2: %d nodes %d edges truncated=%v", rep.Nodes, rep.Edges, rep.Truncated)
+	}
+	if rep.Elements.Nodes[0].Data.ID != "n2" || !rep.Elements.Nodes[0].Data.Center {
+		t.Fatalf("first node should be the center: %+v", rep.Elements.Nodes[0])
+	}
+	if rep.Elements.Nodes[0].Position == nil || rep.Elements.Nodes[0].Position.X != 2 {
+		t.Fatalf("center position %+v, want x=2", rep.Elements.Nodes[0].Position)
+	}
+	// The wire shape must be loadable as Cytoscape elements JSON.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Elements struct {
+			Nodes []struct {
+				Data struct {
+					ID string `json:"id"`
+				} `json:"data"`
+			} `json:"nodes"`
+			Edges []struct {
+				Data struct {
+					Source string  `json:"source"`
+					Target string  `json:"target"`
+					Weight float64 `json:"weight"`
+				} `json:"data"`
+			} `json:"edges"`
+		} `json:"elements"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Elements.Nodes) != 3 || len(decoded.Elements.Edges) != 2 {
+		t.Fatalf("decoded %d nodes %d edges", len(decoded.Elements.Nodes), len(decoded.Elements.Edges))
+	}
+	for _, e := range decoded.Elements.Edges {
+		if e.Data.Weight != 1 {
+			t.Fatalf("edge weight %v, want 1", e.Data.Weight)
+		}
+	}
+}
+
+func TestAroundTruncationAndSelectors(t *testing.T) {
+	v := lineView()
+	rep, err := Around(v, AroundRequest{Center: 0, Hops: 4, MaxNodes: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.Nodes != 2 {
+		t.Fatalf("max_nodes=2: %d nodes truncated=%v", rep.Nodes, rep.Truncated)
+	}
+	if _, err := Around(v, AroundRequest{Center: 0, Graph: "nope"}, Options{}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("bad selector: err = %v", err)
+	}
+	if _, err := Around(v, AroundRequest{Center: -1}, Options{}); !errors.Is(err, ErrUnknownVertex) {
+		t.Fatalf("bad center: err = %v", err)
+	}
+	base, err := Around(v, AroundRequest{Center: 2, Hops: 2, Graph: "base"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Graph != "base" || base.Nodes != 5 {
+		t.Fatalf("base ball: %+v", base)
+	}
+}
+
+func TestAroundMatchesOnBothRepresentations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(30)
+		g := graph.New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), 0.1+rng.Float64())
+		}
+		sp := greedy.Spanner(g, 1.5)
+		req := AroundRequest{Center: rng.Intn(n), Hops: rng.Intn(4)}
+		m, err := Around(View{Base: g, Spanner: sp, T: 1.5}, req, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Around(View{Base: graph.Freeze(g), Spanner: graph.Freeze(sp), T: 1.5}, req, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, f) {
+			t.Fatalf("trial %d: representations disagree", trial)
+		}
+	}
+}
+
+func TestExplainRoute(t *testing.T) {
+	// Triangle detour: base has the direct edge 0-2 (weight 1.9), spanner
+	// only the two-hop path through 1 (cost 2).
+	base := graph.New(3)
+	base.AddEdge(0, 1, 1)
+	base.AddEdge(1, 2, 1)
+	base.AddEdge(0, 2, 1.9)
+	sp := graph.New(3)
+	sp.AddEdge(0, 1, 1)
+	sp.AddEdge(1, 2, 1)
+	v := View{Base: base, Spanner: sp, T: 1.2}
+
+	exp, err := Explain(v, 0, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Reachable || exp.SpannerCost != 2 {
+		t.Fatalf("spanner cost %v reachable %v", exp.SpannerCost, exp.Reachable)
+	}
+	want := []HopDetail{{From: 0, To: 1, Weight: 1, Cumulative: 1}, {From: 1, To: 2, Weight: 1, Cumulative: 2}}
+	if !reflect.DeepEqual(exp.Path, want) {
+		t.Fatalf("path %+v", exp.Path)
+	}
+	if !exp.BaseReachable || exp.BaseCost != 1.9 {
+		t.Fatalf("base cost %v", exp.BaseCost)
+	}
+	// 2/1.9 ≈ 1.053 is within the t = 1.2 bound.
+	if !close(exp.Stretch, 2/1.9) || !exp.WithinBound {
+		t.Fatalf("stretch %v within=%v", exp.Stretch, exp.WithinBound)
+	}
+}
+
+func TestExplainSelfAndDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	v := View{Base: g, Spanner: g, T: 2}
+	self, err := Explain(v, 1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !self.Reachable || self.SpannerCost != 0 || self.Stretch != 1 || !self.WithinBound {
+		t.Fatalf("self route: %+v", self)
+	}
+	disc, err := Explain(v, 0, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.Reachable || disc.BaseReachable || len(disc.Path) != 0 {
+		t.Fatalf("disconnected route: %+v", disc)
+	}
+	if _, err := Explain(v, 0, 9, Options{}); !errors.Is(err, ErrUnknownVertex) {
+		t.Fatalf("unknown dst: err = %v", err)
+	}
+}
+
+// fakeOracle answers a fixed distance for every pair.
+type fakeOracle struct{ d float64 }
+
+func (f fakeOracle) Query(s, t int) (float64, bool) { return f.d, true }
+
+func TestExplainOracleAgreement(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 3)
+	v := View{Base: g, Spanner: g, T: 2, Oracle: fakeOracle{d: 3}}
+	exp, err := Explain(v, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.OracleChecked || !exp.OracleAgrees || exp.OracleDistance != 3 {
+		t.Fatalf("agreeing oracle: %+v", exp)
+	}
+	v.Oracle = fakeOracle{d: 4}
+	exp, err = Explain(v, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.OracleChecked || exp.OracleAgrees {
+		t.Fatalf("disagreeing oracle not flagged: %+v", exp)
+	}
+}
+
+func TestDivergenceExactOnSmallGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 30
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 0.1+rng.Float64())
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, 0.1+rng.Float64())
+		}
+	}
+	tt := 1.7
+	sp := greedy.Spanner(g, tt)
+	v := View{Base: g, Spanner: sp, T: tt}
+	rep, err := Divergence(v, DivergenceRequest{Sample: g.M() + 10, Buckets: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact || rep.SampledEdges != g.M() {
+		t.Fatalf("exact scan: %+v", rep)
+	}
+	if rep.BaseEdges != g.M() || rep.SpannerEdges != sp.M() {
+		t.Fatalf("edge counts: %+v", rep)
+	}
+	if rep.SharedEdges != sp.M() || rep.SpannerOnly != 0 || rep.BaseOnly != g.M()-sp.M() {
+		t.Fatalf("diff partition: %+v", rep)
+	}
+	// The greedy spanner guarantees every base edge is within stretch t.
+	if rep.OverBound != 0 || rep.DisconnectedPairs != 0 {
+		t.Fatalf("greedy spanner violated its bound: %+v", rep)
+	}
+	if rep.WorstStretch > tt || rep.WorstStretch < 1 {
+		t.Fatalf("worst stretch %v outside [1, %v]", rep.WorstStretch, tt)
+	}
+	total := 0
+	for _, b := range rep.Histogram {
+		total += b.Count
+	}
+	if total != g.M() {
+		t.Fatalf("histogram sums to %d, want %d", total, g.M())
+	}
+	// Same seed, same sample: deterministic across representations.
+	fr, err := Divergence(View{Base: graph.Freeze(g), Spanner: graph.Freeze(sp), T: tt},
+		DivergenceRequest{Sample: g.M() + 10, Buckets: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, fr) {
+		t.Fatalf("representations disagree:\n%+v\n%+v", rep, fr)
+	}
+}
+
+func TestDivergenceSampleIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 0.1+rng.Float64())
+	}
+	for i := 0; i < 5*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, 0.1+rng.Float64())
+		}
+	}
+	sp := greedy.Spanner(g, 2)
+	v := View{Base: g, Spanner: sp, T: 2}
+	req := DivergenceRequest{Sample: 40, Seed: 99}
+	a, err := Divergence(v, req, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Divergence(v, req, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different reports")
+	}
+	if a.Exact || a.SampledEdges != 40 {
+		t.Fatalf("sampled scan: %+v", a)
+	}
+	if _, err := Divergence(v, DivergenceRequest{Sample: -1}, Options{}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("negative sample: err = %v", err)
+	}
+}

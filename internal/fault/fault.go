@@ -132,6 +132,45 @@ func removeVertexEdges(g *graph.Graph, x int) {
 	}
 }
 
+// ApplyVertexFaults returns a mutable copy of t with every vertex in down
+// isolated: all incident edges removed, the vertex itself retained so ids
+// stay stable. Out-of-range and duplicate entries are ignored. It is the
+// reusable fault-set applier shared by CheckFaults and the failure-impact
+// analytics (internal/analyze): callers materialize the faulted graph once
+// and run any number of read-only searches against it.
+func ApplyVertexFaults(t graph.Topology, down []int) *graph.Graph {
+	g := thaw(t)
+	for _, x := range down {
+		if x >= 0 && x < g.N() {
+			removeVertexEdges(g, x)
+		}
+	}
+	return g
+}
+
+// ApplyEdgeFaults returns a mutable copy of t with the listed edges
+// removed; entries naming absent edges are ignored.
+func ApplyEdgeFaults(t graph.Topology, down []graph.Edge) *graph.Graph {
+	g := thaw(t)
+	for _, e := range down {
+		g.RemoveEdge(e.U, e.V)
+	}
+	return g
+}
+
+// thaw materializes a mutable copy of any read-only topology, taking the
+// cheap path for the two concrete representations.
+func thaw(t graph.Topology) *graph.Graph {
+	switch g := t.(type) {
+	case *graph.Graph:
+		return g.Clone()
+	case *graph.Frozen:
+		return g.Thaw()
+	default:
+		return graph.FromEdges(t.N(), t.EdgesUnordered())
+	}
+}
+
 // CheckResult summarizes a fault-injection validation run.
 type CheckResult struct {
 	Trials     int
@@ -144,30 +183,32 @@ type CheckResult struct {
 // CheckFaults validates fault tolerance empirically: for trials random
 // fault sets of exactly k elements, it removes the faults from both g and
 // sp and verifies sp−S is still a t-spanner of g−S (stretch measured over
-// the surviving g-edges, per-component).
-func CheckFaults(g, sp *graph.Graph, t float64, k, trials int, mode Mode, seed int64) CheckResult {
+// the surviving g-edges, per-component). Both graphs may be either
+// representation (mutable or frozen); faults are applied to working copies.
+func CheckFaults(g, sp graph.Topology, t float64, k, trials int, mode Mode, seed int64) CheckResult {
 	rng := rand.New(rand.NewSource(seed))
 	res := CheckResult{Trials: trials, WorstStretch: 1}
 	s := graph.AcquireSearcher(g.N())
 	defer graph.ReleaseSearcher(s)
 	for trial := 0; trial < trials; trial++ {
-		gf := g.Clone()
-		sf := sp.Clone()
+		var gf, sf *graph.Graph
 		if mode == VertexFaults {
-			for i := 0; i < k; i++ {
-				x := rng.Intn(g.N())
-				removeVertexEdges(gf, x)
-				removeVertexEdges(sf, x)
+			down := make([]int, k)
+			for i := range down {
+				down[i] = rng.Intn(g.N())
 			}
+			gf = ApplyVertexFaults(g, down)
+			sf = ApplyVertexFaults(sp, down)
 		} else {
-			edges := sp.Edges()
+			edges := graph.SortedEdges(sp)
+			down := make([]graph.Edge, 0, k)
 			for i := 0; i < k && len(edges) > 0; i++ {
 				j := rng.Intn(len(edges))
-				e := edges[j]
-				gf.RemoveEdge(e.U, e.V)
-				sf.RemoveEdge(e.U, e.V)
+				down = append(down, edges[j])
 				edges = append(edges[:j], edges[j+1:]...)
 			}
+			gf = ApplyEdgeFaults(g, down)
+			sf = ApplyEdgeFaults(sp, down)
 		}
 		worst := 1.0
 		violated := false

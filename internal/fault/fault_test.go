@@ -170,3 +170,150 @@ func TestModeString(t *testing.T) {
 		t.Error("mode strings wrong")
 	}
 }
+
+// opaque hides the concrete representation so thaw exercises its generic
+// EdgesUnordered fallback.
+type opaque struct{ graph.Topology }
+
+// TestFaultAppliersOnAllRepresentations pins the exported fault-set
+// appliers: same result from the mutable graph, its frozen copy, and an
+// opaque Topology; the input is never mutated; out-of-range, duplicate,
+// and absent entries are ignored.
+func TestFaultAppliersOnAllRepresentations(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 4, 4)
+	g.AddEdge(4, 0, 5)
+	f := graph.Freeze(g)
+	wantEdges := g.M()
+
+	for _, topo := range []graph.Topology{g, f, opaque{g}, opaque{f}} {
+		gv := ApplyVertexFaults(topo, []int{2, 2, -1, 99})
+		if gv.N() != 5 || gv.M() != 3 || gv.Degree(2) != 0 {
+			t.Fatalf("%T: vertex applier: n=%d m=%d deg(2)=%d", topo, gv.N(), gv.M(), gv.Degree(2))
+		}
+		if gv.HasEdge(1, 2) || gv.HasEdge(2, 3) || !gv.HasEdge(0, 1) {
+			t.Fatalf("%T: vertex applier removed the wrong edges", topo)
+		}
+		ge := ApplyEdgeFaults(topo, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 3}})
+		if ge.M() != 4 || ge.HasEdge(0, 1) || !ge.HasEdge(1, 2) {
+			t.Fatalf("%T: edge applier: m=%d", topo, ge.M())
+		}
+	}
+	if g.M() != wantEdges {
+		t.Fatalf("applier mutated its input: %d edges left", g.M())
+	}
+}
+
+// TestCheckFaultsK0Degenerates: with k=0 no faults are injected, so a
+// plain greedy spanner — fault tolerant or not — reports zero violations
+// and a worst stretch within the bound, identically on both
+// representations.
+func TestCheckFaultsK0Degenerates(t *testing.T) {
+	inst := ftInstance(t, 50, 57_000)
+	sp := greedy.Spanner(inst.G, 1.5)
+	for _, mode := range []Mode{EdgeFaults, VertexFaults} {
+		res := CheckFaults(inst.G, sp, 1.5, 0, 5, mode, 7)
+		if res.Violations != 0 {
+			t.Fatalf("%v k=0: %d violations", mode, res.Violations)
+		}
+		if res.WorstStretch > 1.5+1e-9 || res.WorstStretch < 1 {
+			t.Fatalf("%v k=0: worst stretch %v", mode, res.WorstStretch)
+		}
+		frozen := CheckFaults(graph.Freeze(inst.G), graph.Freeze(sp), 1.5, 0, 5, mode, 7)
+		if frozen != res {
+			t.Fatalf("%v k=0: frozen result %+v differs from mutable %+v", mode, frozen, res)
+		}
+	}
+}
+
+// TestCheckFaultsVertexVsEdgeModeSameGraph: on the same instance, a
+// vertex-fault-tolerant spanner must also pass the (weaker) edge-mode
+// check, while the edge-mode spanner generally fails the vertex-mode one
+// only — both claims checked against the same fault seeds.
+func TestCheckFaultsVertexVsEdgeModeSameGraph(t *testing.T) {
+	inst := ftInstance(t, 60, 58_000)
+	vft, err := Spanner(inst.G, 1.5, 1, VertexFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := CheckFaults(inst.G, vft, 1.5, 1, 30, EdgeFaults, 12)
+	if edge.Violations != 0 {
+		t.Fatalf("vertex-FT spanner violated edge faults %d/%d times (worst %v)",
+			edge.Violations, edge.Trials, edge.WorstStretch)
+	}
+	vertex := CheckFaults(inst.G, vft, 1.5, 1, 30, VertexFaults, 12)
+	if vertex.Violations != 0 {
+		t.Fatalf("vertex-FT spanner violated vertex faults %d/%d times (worst %v)",
+			vertex.Violations, vertex.Trials, vertex.WorstStretch)
+	}
+}
+
+// TestCheckFaultsDisconnectionSentinel: a spanning-tree spanner of a cycle
+// loses connectivity under any single edge fault, while the surviving
+// base cycle stays connected — CheckFaults must report the violation with
+// its 1e18 disconnection sentinel.
+func TestCheckFaultsDisconnectionSentinel(t *testing.T) {
+	base := graph.New(4)
+	base.AddEdge(0, 1, 1)
+	base.AddEdge(1, 2, 1)
+	base.AddEdge(2, 3, 1)
+	base.AddEdge(3, 0, 1)
+	tree := graph.New(4)
+	tree.AddEdge(0, 1, 1)
+	tree.AddEdge(1, 2, 1)
+	tree.AddEdge(2, 3, 1)
+	res := CheckFaults(base, tree, 3, 1, 10, EdgeFaults, 5)
+	if res.Violations != res.Trials {
+		t.Fatalf("only %d/%d trials violated; every tree-edge fault disconnects", res.Violations, res.Trials)
+	}
+	if res.WorstStretch != 1e18 {
+		t.Fatalf("worst stretch %v, want the 1e18 disconnection sentinel", res.WorstStretch)
+	}
+}
+
+// TestCheckFaultsEndpointFault: a vertex fault that hits a route endpoint
+// removes that pair from the measurement (its base edges die with it) —
+// but a fault on a relay vertex interior to the only spanner path is a
+// real violation. Triangle base, path spanner through vertex 1: fault {1}
+// disconnects the surviving base edge {0,2}; faults {0} or {2} leave
+// nothing to measure.
+func TestCheckFaultsEndpointFault(t *testing.T) {
+	base := graph.New(3)
+	base.AddEdge(0, 1, 1)
+	base.AddEdge(1, 2, 1)
+	base.AddEdge(0, 2, 1.5)
+	sp := graph.New(3)
+	sp.AddEdge(0, 1, 1)
+	sp.AddEdge(1, 2, 1)
+
+	// Deterministically enumerate the three single-vertex fault sets via
+	// the appliers, counting violations by hand.
+	s := graph.NewSearcher(3)
+	violations := 0
+	for x := 0; x < 3; x++ {
+		gf := ApplyVertexFaults(base, []int{x})
+		sf := ApplyVertexFaults(sp, []int{x})
+		for _, e := range gf.EdgesUnordered() {
+			if _, ok := s.DijkstraTarget(sf, e.U, e.V, 3*e.W); !ok {
+				violations++
+			}
+		}
+	}
+	// Fault {0}: survives base edge {1,2}, present in sf — fine.
+	// Fault {2}: survives base edge {0,1}, present in sf — fine.
+	// Fault {1}: survives base edge {0,2}, sf has no edges — violation.
+	if violations != 1 {
+		t.Fatalf("%d violations across single-vertex faults, want exactly 1 (the relay)", violations)
+	}
+	// CheckFaults over random single-vertex faults agrees: some trials hit
+	// the relay and violate, none report a violation for endpoint faults
+	// (worst stretch stays at the sentinel only when the relay died).
+	res := CheckFaults(base, sp, 3, 1, 30, VertexFaults, 5)
+	if res.Violations == 0 || res.Violations == res.Trials {
+		t.Fatalf("%d/%d violations; only relay faults (~1/3 of draws) should violate",
+			res.Violations, res.Trials)
+	}
+}

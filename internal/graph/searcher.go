@@ -107,6 +107,7 @@ type Searcher struct {
 	prevB []int32
 	heapB []heapItem
 	ball  []VertexDist
+	hball []VertexHop
 	queue []int32
 	stats SearchStats
 }
@@ -419,6 +420,81 @@ func (s *Searcher) prunedFrozen(f *Frozen, bound float64, visit func(v int, d fl
 		}
 	}
 	s.stats.Settled += settled
+}
+
+// VertexHop is one vertex reached by a hop-bounded BFS, with its hop count
+// from the source.
+type VertexHop struct {
+	V    int
+	Hops int
+}
+
+// HopBall runs a breadth-first search from src and returns every vertex
+// within maxHops edges, in BFS order (src first, at 0 hops). It is the
+// k-hop subgraph extraction behind /analyze/around: the caller gets the
+// ball members with their hop layers and induces edges among them
+// separately. The returned slice is owned by the Searcher and valid only
+// until its next search; callers that need to keep it must copy.
+// maxHops <= 0 returns just the source.
+func (s *Searcher) HopBall(g Topology, src, maxHops int) []VertexHop {
+	s.stats.Searches++
+	s.begin(g.N())
+	s.hball = s.hball[:0]
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, int32(src))
+	s.seen[src] = s.epoch
+	s.hops[src] = 0
+	s.hball = append(s.hball, VertexHop{V: src})
+	if f, ok := g.(*Frozen); ok {
+		s.hopBallFrozen(f, maxHops)
+	} else {
+		s.hopBallTopology(g, maxHops)
+	}
+	return s.hball
+}
+
+// hopBallTopology is the generic HopBall loop.
+func (s *Searcher) hopBallTopology(g Topology, maxHops int) {
+	for i := 0; i < len(s.queue); i++ {
+		v := s.queue[i]
+		hv := s.hops[v]
+		if int(hv) >= maxHops {
+			continue // ball boundary: member, but not expanded
+		}
+		s.stats.Settled++
+		for _, h := range g.Neighbors(int(v)) {
+			if s.seen[h.To] == s.epoch {
+				continue
+			}
+			s.seen[h.To] = s.epoch
+			s.hops[h.To] = hv + 1
+			s.queue = append(s.queue, int32(h.To))
+			s.hball = append(s.hball, VertexHop{V: h.To, Hops: int(hv) + 1})
+		}
+	}
+}
+
+// hopBallFrozen is the HopBall loop devirtualized over the CSR
+// representation.
+func (s *Searcher) hopBallFrozen(f *Frozen, maxHops int) {
+	for i := 0; i < len(s.queue); i++ {
+		v := s.queue[i]
+		hv := s.hops[v]
+		if int(hv) >= maxHops {
+			continue
+		}
+		s.stats.Settled++
+		r := f.rows[v]
+		for _, h := range f.slab[r.off : r.off+r.deg] {
+			if s.seen[h.To] == s.epoch {
+				continue
+			}
+			s.seen[h.To] = s.epoch
+			s.hops[h.To] = hv + 1
+			s.queue = append(s.queue, int32(h.To))
+			s.hball = append(s.hball, VertexHop{V: h.To, Hops: int(hv) + 1})
+		}
+	}
 }
 
 // HopsTo returns the hop distance (unweighted) from src to dst, with early

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"topoctl/internal/analyze"
 	"topoctl/internal/routing"
 )
 
@@ -46,6 +47,44 @@ func BenchmarkServiceRoute(b *testing.B) {
 		bench(b, func(rng *rand.Rand, zipf *rand.Zipf) (int, int) {
 			return rng.Intn(n), rng.Intn(n)
 		})
+	})
+}
+
+// BenchmarkAnalyzeImpact measures the heaviest /analyze query on an n=512
+// deployment: a single-vertex fault, which re-verifies the stretch of
+// every surviving base edge against the faulted spanner (parallel
+// fan-out over the searcher pool) plus two component labellings.
+func BenchmarkAnalyzeImpact(b *testing.B) {
+	svc := testService(b, 512, Options{})
+	snap := svc.Snapshot()
+	n := len(snap.Alive)
+	rng := rand.New(rand.NewSource(17))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.AnalyzeImpact(analyze.ImpactRequest{Vertices: []int{rng.Intn(n)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeAround measures the k-hop subgraph extraction on an
+// n=512 deployment: a 2-hop BFS ball plus the induced-edge sweep and the
+// Cytoscape-shaped assembly.
+func BenchmarkAnalyzeAround(b *testing.B) {
+	svc := testService(b, 512, Options{})
+	snap := svc.Snapshot()
+	n := len(snap.Alive)
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(2600 + seed.Add(1)))
+		for pb.Next() {
+			if _, err := snap.AnalyzeAround(analyze.AroundRequest{Center: rng.Intn(n), Hops: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

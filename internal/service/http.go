@@ -1,12 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
+	"topoctl/internal/analyze"
 	"topoctl/internal/geom"
 	"topoctl/internal/routing"
 )
@@ -81,10 +84,18 @@ func ParseScheme(name string) (routing.Scheme, error) {
 //	POST /distance                 exact point-to-point distance (labels
 //	                               when enabled, search fallback otherwise)
 //	POST /mutate                   apply a mutation batch (leader only)
+//	POST /analyze/impact           failure impact of a vertex set / region
+//	POST /analyze/around           k-hop neighborhood (Cytoscape elements)
+//	POST /analyze/route            route explanation vs the base optimum
+//	GET  /analyze/divergence       spanner-vs-base divergence report
 //
 // Every handler resolves the current snapshot exactly once, so each
 // response is consistent with a single topology version (reported as
 // "version" in the body).
+//
+// Every non-2xx response — including the mux's own 404/405, which the
+// returned handler intercepts — carries the JSON error envelope
+// {"error": "..."}.
 //
 // Liveness and readiness are distinct on purpose: a follower that lost
 // its leader is alive (keep it in the process pool, let it keep serving
@@ -100,7 +111,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /route", s.handleRoute)
 	mux.HandleFunc("POST /distance", s.handleDistance)
 	mux.HandleFunc("POST /mutate", s.handleMutate)
-	return mux
+	mux.HandleFunc("POST /analyze/impact", s.handleAnalyzeImpact)
+	mux.HandleFunc("POST /analyze/around", s.handleAnalyzeAround)
+	mux.HandleFunc("POST /analyze/route", s.handleAnalyzeRoute)
+	mux.HandleFunc("GET /analyze/divergence", s.handleAnalyzeDivergence)
+	return errorEnvelope(mux)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -217,19 +232,182 @@ func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// statusFor maps service errors to HTTP statuses: unknown nodes are 404,
-// malformed requests 400, not-yet-ready followers 503.
+func (s *Service) handleAnalyzeImpact(w http.ResponseWriter, r *http.Request) {
+	var req analyze.ImpactRequest
+	if err := decodeJSON(w, r, 1<<20, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrNotReady)
+		return
+	}
+	res, err := snap.AnalyzeImpact(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleAnalyzeAround(w http.ResponseWriter, r *http.Request) {
+	var req analyze.AroundRequest
+	if err := decodeJSON(w, r, 1<<16, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrNotReady)
+		return
+	}
+	res, err := snap.AnalyzeAround(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleAnalyzeRoute(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRouteRequest
+	if err := decodeJSON(w, r, 1<<16, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrNotReady)
+		return
+	}
+	res, err := snap.AnalyzeRoute(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleAnalyzeDivergence(w http.ResponseWriter, r *http.Request) {
+	var req analyze.DivergenceRequest
+	q := r.URL.Query()
+	for name, dst := range map[string]*int{
+		"sample":    &req.Sample,
+		"buckets":   &req.Buckets,
+		"witnesses": &req.MaxWitnesses,
+	} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", name, err))
+				return
+			}
+			*dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed: %w", err))
+			return
+		}
+		req.Seed = n
+	}
+	snap := s.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrNotReady)
+		return
+	}
+	res, err := snap.AnalyzeDivergence(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// statusFor maps service errors to HTTP statuses: unknown nodes and
+// vertices are 404, malformed requests 400, not-yet-ready followers 503.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownNode):
+	case errors.Is(err, ErrUnknownNode), errors.Is(err, analyze.ErrUnknownVertex):
 		return http.StatusNotFound
-	case errors.Is(err, routing.ErrOutOfRange):
+	case errors.Is(err, routing.ErrOutOfRange), errors.Is(err, ErrBadOp), errors.Is(err, analyze.ErrBadQuery):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNotReady), errors.Is(err, ErrReadOnly), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// errorEnvelope wraps a handler so that every error response leaves as the
+// JSON envelope, including responses the wrapped handler writes itself in
+// another shape — notably the mux's own text/plain 404 and 405. Successful
+// responses and errors already in the envelope pass through untouched.
+func errorEnvelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ew := &envelopeWriter{rw: w}
+		next.ServeHTTP(ew, r)
+		ew.flush()
+	})
+}
+
+// envelopeWriter intercepts non-JSON error responses: when WriteHeader
+// announces a status >= 400 without an application/json content type, the
+// header write is deferred and the body buffered, then flush rewrites it
+// as an errorBody.
+type envelopeWriter struct {
+	rw          http.ResponseWriter
+	status      int
+	wroteHeader bool
+	intercept   bool
+	buf         bytes.Buffer
+}
+
+func (e *envelopeWriter) Header() http.Header { return e.rw.Header() }
+
+func (e *envelopeWriter) WriteHeader(status int) {
+	if e.wroteHeader {
+		return
+	}
+	e.wroteHeader = true
+	e.status = status
+	if status >= 400 && !strings.HasPrefix(e.rw.Header().Get("Content-Type"), "application/json") {
+		e.intercept = true
+		return
+	}
+	e.rw.WriteHeader(status)
+}
+
+func (e *envelopeWriter) Write(b []byte) (int, error) {
+	if !e.wroteHeader {
+		e.WriteHeader(http.StatusOK)
+	}
+	if e.intercept {
+		return e.buf.Write(b)
+	}
+	return e.rw.Write(b)
+}
+
+func (e *envelopeWriter) flush() {
+	if !e.intercept {
+		return
+	}
+	msg := strings.TrimSpace(e.buf.String())
+	if msg == "" {
+		msg = http.StatusText(e.status)
+	}
+	raw, err := json.Marshal(errorBody{Error: msg})
+	if err != nil {
+		raw = []byte(`{"error":"internal error"}`)
+	}
+	h := e.rw.Header()
+	h.Set("Content-Type", "application/json")
+	h.Del("Content-Length") // the rewritten body has a different length
+	e.rw.WriteHeader(e.status)
+	e.rw.Write(append(raw, '\n'))
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, dst any) error {

@@ -86,6 +86,10 @@ type Options struct {
 	Labels bool
 	// Seed drives the deterministic stretch-sample shuffle.
 	Seed int64
+	// AnalyzeTimeout caps the wall-clock time of one /analyze scan
+	// (default 5s; negative disables the cap). A capped scan returns a
+	// partial report with its "truncated" flag set rather than an error.
+	AnalyzeTimeout time.Duration
 	// InitialVersion stamps the first published snapshot (default 1). A
 	// daemon recovering from a WAL passes the recovered epoch so versions
 	// continue the pre-crash sequence instead of restarting at 1.
@@ -115,6 +119,11 @@ func (o *Options) normalize() {
 	}
 	if o.StretchSample <= 0 {
 		o.StretchSample = 256
+	}
+	if o.AnalyzeTimeout == 0 {
+		o.AnalyzeTimeout = 5 * time.Second
+	} else if o.AnalyzeTimeout < 0 {
+		o.AnalyzeTimeout = 0 // no cap
 	}
 }
 
@@ -168,6 +177,7 @@ type counters struct {
 	mutBatches atomic.Uint64
 	labelHits  atomic.Uint64
 	labelFalls atomic.Uint64
+	analyze    [analyzeEndpoints]analyzeCounter
 }
 
 // Service serves topology queries over atomically swapped snapshots while
@@ -277,19 +287,20 @@ func (s *Service) PublishFrozen(version uint64, points []geom.Point, alive []boo
 		return err
 	}
 	snap := &Snapshot{
-		Version:       version,
-		T:             s.opts.T,
-		Points:        points,
-		Alive:         alive,
-		Base:          base,
-		Spanner:       sp,
-		router:        router,
-		searchers:     s.searchers,
-		cache:         newRouteCache(s.opts.CacheSize, &s.ctr),
-		ctr:           &s.ctr,
-		live:          live,
-		stretchSample: s.opts.StretchSample,
-		seed:          s.opts.Seed,
+		Version:        version,
+		T:              s.opts.T,
+		Points:         points,
+		Alive:          alive,
+		Base:           base,
+		Spanner:        sp,
+		router:         router,
+		searchers:      s.searchers,
+		cache:          newRouteCache(s.opts.CacheSize, &s.ctr),
+		ctr:            &s.ctr,
+		live:           live,
+		stretchSample:  s.opts.StretchSample,
+		seed:           s.opts.Seed,
+		analyzeTimeout: s.opts.AnalyzeTimeout,
 	}
 	snap.bboxLo, snap.bboxHi = bbox(points, s.opts.Dim)
 	s.snap.Store(snap)
@@ -494,20 +505,21 @@ func (s *Service) publish(eng *dynamic.Engine) *Snapshot {
 		router.SetDistanceOracle(s.oracle)
 	}
 	snap := &Snapshot{
-		Version:       version,
-		T:             s.opts.T,
-		Points:        points,
-		Alive:         alive,
-		Base:          base,
-		Spanner:       sp,
-		router:        router,
-		searchers:     s.searchers,
-		cache:         newRouteCache(s.opts.CacheSize, &s.ctr),
-		ctr:           &s.ctr,
-		live:          eng.N(),
-		stretchSample: s.opts.StretchSample,
-		seed:          s.opts.Seed,
-		oracle:        s.oracle,
+		Version:        version,
+		T:              s.opts.T,
+		Points:         points,
+		Alive:          alive,
+		Base:           base,
+		Spanner:        sp,
+		router:         router,
+		searchers:      s.searchers,
+		cache:          newRouteCache(s.opts.CacheSize, &s.ctr),
+		ctr:            &s.ctr,
+		live:           eng.N(),
+		stretchSample:  s.opts.StretchSample,
+		seed:           s.opts.Seed,
+		oracle:         s.oracle,
+		analyzeTimeout: s.opts.AnalyzeTimeout,
 	}
 	snap.bboxLo, snap.bboxHi = bbox(points, s.opts.Dim)
 	s.snap.Store(snap)
@@ -581,6 +593,9 @@ type Stats struct {
 	LabelEntries        int     `json:"label_entries"`
 	LabelBytesPerVertex float64 `json:"label_bytes_per_vertex"`
 	LabelStale          bool    `json:"label_stale"`
+	// Analyze records the /analyze family per endpoint: request count and
+	// worst observed duration (service lifetime, like the other counters).
+	Analyze map[string]AnalyzeEndpointStats `json:"analyze"`
 	// Role is "leader" or "follower"; Ready mirrors GET /readyz. Replica
 	// carries the replication-link status on followers (nil on leaders).
 	Role    string         `json:"role"`
@@ -599,6 +614,7 @@ func (s *Service) Stats() Stats {
 		// A follower that has not applied its first frame yet has nothing
 		// to describe beyond its own serving state.
 		return Stats{
+			Analyze:       s.ctr.analyzeStats(),
 			Role:          role,
 			Ready:         s.Ready(),
 			Replica:       s.replicaStatus(),
@@ -641,6 +657,7 @@ func (s *Service) Stats() Stats {
 		LabelEntries:        lst.Entries,
 		LabelBytesPerVertex: lst.BytesPerVertex,
 		LabelStale:          lst.Stale,
+		Analyze:             s.ctr.analyzeStats(),
 		Role:                role,
 		Ready:               s.Ready(),
 		Replica:             s.replicaStatus(),

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
+	"time"
 
 	"topoctl/internal/geom"
 	"topoctl/internal/graph"
@@ -49,6 +50,9 @@ type Snapshot struct {
 	live   int
 	bboxLo geom.Point
 	bboxHi geom.Point
+	// analyzeTimeout caps each /analyze scan (0 = uncapped); see
+	// Options.AnalyzeTimeout.
+	analyzeTimeout time.Duration
 
 	// The live stretch estimate is computed lazily on first demand (a
 	// /stats call), not on the swap path, and memoized for the snapshot's
