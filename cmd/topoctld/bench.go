@@ -77,13 +77,15 @@ func cmdBench(args []string) error {
 // summary can report the cache behaviour this run induced (the server
 // counters are lifetime aggregates; the delta isolates this window).
 type benchStats struct {
-	Nodes          int       `json:"nodes"`
-	Slots          int       `json:"slots"`
-	BBoxLo         []float64 `json:"bbox_lo"`
-	BBoxHi         []float64 `json:"bbox_hi"`
-	CacheHits      uint64    `json:"cache_hits"`
-	CacheMisses    uint64    `json:"cache_misses"`
-	CacheEvictions uint64    `json:"cache_evictions"`
+	Nodes          int                  `json:"nodes"`
+	Slots          int                  `json:"slots"`
+	BBoxLo         []float64            `json:"bbox_lo"`
+	BBoxHi         []float64            `json:"bbox_hi"`
+	CacheHits      uint64               `json:"cache_hits"`
+	CacheMisses    uint64               `json:"cache_misses"`
+	CacheEvictions uint64               `json:"cache_evictions"`
+	ShardCount     int                  `json:"shard_count"`
+	Shards         []service.ShardStats `json:"shards"`
 }
 
 func runBench(bf *benchFlags, base string) error {
@@ -233,6 +235,20 @@ func runBench(bf *benchFlags, base string) error {
 		}
 		fmt.Printf("cache     server-side: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 			hits, misses, ratio, end.CacheEvictions-st.CacheEvictions)
+		// Per-shard breakdown for sharded deployments: the window delta of
+		// each shard's query/hit counters against the pre-run snapshot.
+		if end.ShardCount > 1 && len(end.Shards) == len(st.Shards) {
+			for i, sh := range end.Shards {
+				q := sh.Queries - st.Shards[i].Queries
+				h := sh.CacheHits - st.Shards[i].CacheHits
+				hr := 0.0
+				if q > 0 {
+					hr = 100 * float64(h) / float64(q)
+				}
+				fmt.Printf("  shard %d  %d nodes, %d portals, %d queries (%.1f%% cached), swap epoch %d\n",
+					sh.Shard, sh.Nodes, sh.Portals, q, hr, sh.LastSwapEpoch)
+			}
+		}
 	}
 	if bf.mutate > 0 {
 		fmt.Printf("churn     %d mutation ops applied during the window\n", mutations.Load())

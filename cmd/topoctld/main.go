@@ -44,6 +44,7 @@ import (
 	"topoctl/internal/netio"
 	"topoctl/internal/replica"
 	"topoctl/internal/service"
+	"topoctl/internal/shard"
 	"topoctl/internal/ubg"
 	"topoctl/internal/wal"
 )
@@ -78,8 +79,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: topoctld <serve|follow|bench> [flags]
   serve   [-addr :7077] [-in FILE(.gz) | -n N -d D -deg DEG -seed S] [-t T] [-radius R] [-cache C]
-          [-wal DIR] [-fsync always|interval|never] [-checkpoint-every N]
+          [-shards K] [-portal-refresh N] [-wal DIR] [-fsync always|interval|never] [-checkpoint-every N]
           start the daemon; without -in a uniform deployment of N nodes is generated.
+          With -shards K the deployment is split into K grid-aligned regions, each with
+          its own engine, snapshot, and route cache; cross-region routes stitch through
+          precomputed portal tables (exact, with global-search fallback mid-refresh).
           With -wal every mutation batch is logged durably and recovered on restart,
           and followers may replicate from GET /wal/checkpoint + /wal/stream
   follow  [-addr :7078] -leader URL [-cache C]
@@ -92,15 +96,17 @@ func usage() {
 // serveFlags configures the daemon core (shared by serve and bench -self;
 // the listen address is a serve-only flag, bench has its own -addr).
 type serveFlags struct {
-	in     string
-	n, d   int
-	deg    float64
-	seed   int64
-	t      float64
-	radius float64
-	cache  int
-	sample int
-	labels bool
+	in      string
+	n, d    int
+	deg     float64
+	seed    int64
+	t       float64
+	radius  float64
+	cache   int
+	sample  int
+	labels  bool
+	shards  int
+	refresh int
 }
 
 func addServeFlags(fs *flag.FlagSet) *serveFlags {
@@ -115,6 +121,8 @@ func addServeFlags(fs *flag.FlagSet) *serveFlags {
 	fs.IntVar(&sf.cache, "cache", 8192, "route cache capacity per snapshot")
 	fs.IntVar(&sf.sample, "stretch-sample", 256, "base-edge sample size for the /stats stretch estimate")
 	fs.BoolVar(&sf.labels, "labels", true, "maintain the hub-label distance oracle (exact /distance answers without a search)")
+	fs.IntVar(&sf.shards, "shards", 1, "spatial shard count: >1 runs one engine+snapshot+cache per grid-aligned region, stitching cross-shard routes through portal vertices")
+	fs.IntVar(&sf.refresh, "portal-refresh", 1, "rebuild the inter-portal distance table every Nth publish (sharded mode; in between, cross-shard routes fall back to the global search)")
 	return sf
 }
 
@@ -152,6 +160,8 @@ func (sf *serveFlags) newService() (*service.Service, error) {
 		StretchSample: sf.sample,
 		Seed:          sf.seed,
 		Labels:        sf.labels,
+		Shards:        sf.shards,
+		PortalRefresh: sf.refresh,
 	})
 }
 
@@ -201,12 +211,17 @@ func buildLeader(sf *serveFlags, wf *walFlags) (*service.Service, *replica.Leade
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	ld := replica.NewLeader(rec, recovered)
+	// The leader is bound through a closure because sharded recovery
+	// re-checkpoints and constructs it from the re-sharded state, after
+	// the service exists; no mutation can publish before serve starts.
+	var ld *replica.Leader
 	opts := service.Options{
 		T: sf.t, Radius: sf.radius, Dim: sf.d,
 		CacheSize: sf.cache, StretchSample: sf.sample, Seed: sf.seed,
-		Labels:    sf.labels,
-		OnPublish: ld.OnPublish,
+		Labels: sf.labels, Shards: sf.shards, PortalRefresh: sf.refresh,
+		OnPublish: func(snap *service.Snapshot, applied []service.Op, touched []int) {
+			ld.OnPublish(snap, applied, touched)
+		},
 	}
 	var svc *service.Service
 	if recovered != nil {
@@ -214,19 +229,57 @@ func buildLeader(sf *serveFlags, wf *walFlags) (*service.Service, *replica.Leade
 		// the flags, and the version sequence continues at the recovered
 		// epoch.
 		side := recovered.Clone()
-		eng, err := dynamic.Restore(side.Points, side.Alive, side.Base.Thaw(), side.Spanner.Thaw(),
-			dynamic.Options{T: recovered.T, Radius: recovered.Radius, Dim: recovered.Dim})
-		if err != nil {
-			rec.Close(nil)
-			return nil, nil, nil, fmt.Errorf("wal recovery: %w", err)
-		}
 		opts.InitialVersion = recovered.Epoch
-		svc, err = service.NewFromEngine(eng, opts)
-		if err != nil {
-			rec.Close(nil)
-			return nil, nil, nil, err
+		if sf.shards > 1 {
+			// Re-sharding re-partitions the recovered deployment and
+			// rebuilds per-shard spanners (global ids preserved); the
+			// combined topology is a t-spanner of the same base graph but
+			// not row-identical to the checkpoint, so write a fresh
+			// checkpoint for followers before any frame appends.
+			grp, err := shard.Restore(side.Points, side.Alive, shard.Options{
+				Dynamic:       dynamic.Options{T: recovered.T, Radius: recovered.Radius, Dim: recovered.Dim},
+				K:             sf.shards,
+				PortalRefresh: sf.refresh,
+			})
+			if err != nil {
+				rec.Close(nil)
+				return nil, nil, nil, fmt.Errorf("wal recovery (sharded): %w", err)
+			}
+			svc, err = service.NewFromGroup(grp, opts)
+			if err != nil {
+				rec.Close(nil)
+				return nil, nil, nil, err
+			}
+			snap := svc.Snapshot()
+			st := &wal.State{
+				Epoch: recovered.Epoch, Chain: recovered.Chain,
+				T: recovered.T, Radius: recovered.Radius, Dim: recovered.Dim,
+				Points: snap.Points, Alive: snap.Alive, Live: snap.Live(),
+				Base: snap.Base, Spanner: snap.Spanner,
+			}
+			if err := rec.Checkpoint(st); err != nil {
+				svc.Close()
+				rec.Close(nil)
+				return nil, nil, nil, fmt.Errorf("wal recovery (sharded re-checkpoint): %w", err)
+			}
+			ld = replica.NewLeader(rec, st)
+			log.Printf("recovered epoch %d from %s (%d live nodes), re-sharded into %d regions",
+				recovered.Epoch, wf.dir, recovered.Live, sf.shards)
+		} else {
+			eng, err := dynamic.Restore(side.Points, side.Alive, side.Base.Thaw(), side.Spanner.Thaw(),
+				dynamic.Options{T: recovered.T, Radius: recovered.Radius, Dim: recovered.Dim})
+			if err != nil {
+				rec.Close(nil)
+				return nil, nil, nil, fmt.Errorf("wal recovery: %w", err)
+			}
+			svc, err = service.NewFromEngine(eng, opts)
+			if err != nil {
+				rec.Close(nil)
+				return nil, nil, nil, err
+			}
+			ld = replica.NewLeader(rec, recovered)
+			log.Printf("recovered epoch %d from %s (%d live nodes)", recovered.Epoch, wf.dir, recovered.Live)
 		}
-		log.Printf("recovered epoch %d from %s (%d live nodes)", recovered.Epoch, wf.dir, recovered.Live)
 	} else {
 		pts, err := sf.points()
 		if err != nil {
@@ -238,6 +291,7 @@ func buildLeader(sf *serveFlags, wf *walFlags) (*service.Service, *replica.Leade
 			rec.Close(nil)
 			return nil, nil, nil, err
 		}
+		ld = replica.NewLeader(rec, nil)
 		snap := svc.Snapshot()
 		dim := sf.d
 		if len(snap.Points) > 0 {

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"topoctl/internal/graph"
+	"topoctl/internal/shard"
+)
+
+// searcherPool is a lazily-filled, bounded pool of searchers shared by
+// every snapshot of one service. Nothing is allocated at construction:
+// the first acquire on an empty pool builds a searcher on demand, and
+// release keeps at most the configured number around. This matters in
+// shard mode, where K per-shard scratch pools would otherwise multiply
+// into K×GOMAXPROCS idle allocations per service. allocs counts the
+// demand-driven constructions, pinned by the allocation test.
+type searcherPool struct {
+	ch     chan *graph.Searcher
+	allocs atomic.Uint64
+}
+
+func newSearcherPool(size int) *searcherPool {
+	if size < 1 {
+		size = 1
+	}
+	return &searcherPool{ch: make(chan *graph.Searcher, size)}
+}
+
+// acquire returns a pooled searcher, or builds one sized for n vertices
+// when the pool is empty (it never blocks: under burst load extra
+// searchers are allocated and the surplus dropped on release).
+func (p *searcherPool) acquire(n int) *graph.Searcher {
+	select {
+	case srch := <-p.ch:
+		return srch
+	default:
+		p.allocs.Add(1)
+		return graph.NewSearcher(n)
+	}
+}
+
+func (p *searcherPool) release(srch *graph.Searcher) {
+	select {
+	case p.ch <- srch:
+	default:
+	}
+}
+
+// scratchPool pools the per-query workspaces of the portal-stitched
+// route path, one pool per shard so concurrent readers of different
+// shards never contend. Same lazy discipline as searcherPool.
+type scratchPool struct {
+	ch     chan *shard.Scratch
+	allocs atomic.Uint64
+}
+
+func newScratchPool(size int) *scratchPool {
+	if size < 1 {
+		size = 1
+	}
+	return &scratchPool{ch: make(chan *shard.Scratch, size)}
+}
+
+func (p *scratchPool) acquire() *shard.Scratch {
+	select {
+	case sc := <-p.ch:
+		return sc
+	default:
+		p.allocs.Add(1)
+		return shard.NewScratch()
+	}
+}
+
+func (p *scratchPool) release(sc *shard.Scratch) {
+	select {
+	case p.ch <- sc:
+	default:
+	}
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/routing"
+)
+
+// TestShardedRouteDifferential pins the sharded serving path at the
+// service boundary: every shortest-path answer a sharded service gives
+// (portal stitching, per-shard caches, pool plumbing and all) must equal
+// a direct global Dijkstra over the very snapshot that served it —
+// deliverability, cost, and stretch denominator — across mutation
+// batches that keep re-sharding the deployment.
+func TestShardedRouteDifferential(t *testing.T) {
+	const n = 140
+	svc := testService(t, n, Options{Shards: 3, CacheSize: 256})
+	rng := rand.New(rand.NewSource(51))
+
+	check := func(round int) {
+		t.Helper()
+		snap := svc.Snapshot()
+		gs := graph.NewSearcher(snap.Spanner.N())
+		for q := 0; q < 120; q++ {
+			src, dst, ok := twoLive(rng, snap.Alive)
+			if !ok {
+				continue
+			}
+			res, err := snap.Route(routing.SchemeShortestPath, src, dst)
+			if err != nil {
+				t.Fatalf("round %d: route(%d,%d): %v", round, src, dst, err)
+			}
+			refPath, refCost, refOK := gs.AppendPathTo(nil, snap.Spanner, src, dst, graph.Inf)
+			if res.Route.Delivered != refOK {
+				t.Fatalf("round %d %d->%d: delivered=%v, global search says %v",
+					round, src, dst, res.Route.Delivered, refOK)
+			}
+			if !refOK {
+				continue
+			}
+			if math.Abs(res.Route.Cost-refCost) > 1e-9*(1+refCost) {
+				t.Fatalf("round %d %d->%d: sharded cost %v, global %v (paths %v vs %v)",
+					round, src, dst, res.Route.Cost, refCost, res.Route.Path, refPath)
+			}
+			if w, okw := graph.PathWeight(snap.Spanner, res.Route.Path); !okw || math.Abs(w-res.Route.Cost) > 1e-9 {
+				t.Fatalf("round %d %d->%d: path %v invalid on snapshot (weight %v ok=%v)",
+					round, src, dst, res.Route.Path, w, okw)
+			}
+			baseDist, bok := gs.DijkstraTarget(snap.Base, src, dst, graph.Inf)
+			if !bok {
+				t.Fatalf("round %d %d->%d: spanner-delivered pair base-unreachable", round, src, dst)
+			}
+			wantStretch := refCost / baseDist
+			if math.Abs(res.Stretch-wantStretch) > 1e-9*(1+wantStretch) {
+				t.Fatalf("round %d %d->%d: stretch %v, want %v", round, src, dst, res.Stretch, wantStretch)
+			}
+		}
+	}
+
+	check(0)
+	snap := svc.Snapshot()
+	lo, hi := snap.bboxLo, snap.bboxHi
+	for round := 1; round <= 6; round++ {
+		cur := svc.Snapshot()
+		ops := make([]Op, 0, 10)
+		for k := 0; k < 10; k++ {
+			switch x := rng.Float64(); {
+			case x < 0.3:
+				ops = append(ops, Op{Kind: OpJoin, Point: geom.Point{
+					lo[0] + rng.Float64()*(hi[0]-lo[0]),
+					lo[1] + rng.Float64()*(hi[1]-lo[1]),
+				}})
+			case x < 0.5 && cur.Live() > n/2:
+				if id, _, ok := twoLive(rng, cur.Alive); ok {
+					ops = append(ops, Op{Kind: OpLeave, ID: id})
+				}
+			default:
+				// Full-box moves force frequent shard-boundary crossings.
+				if id, _, ok := twoLive(rng, cur.Alive); ok {
+					ops = append(ops, Op{Kind: OpMove, ID: id, Point: geom.Point{
+						lo[0] + rng.Float64()*(hi[0]-lo[0]),
+						lo[1] + rng.Float64()*(hi[1]-lo[1]),
+					}})
+				}
+			}
+		}
+		if _, err := svc.Mutate(ops); err != nil {
+			t.Fatalf("mutate round %d: %v", round, err)
+		}
+		check(round)
+	}
+}
+
+// TestShardedStats verifies the /stats shards section: shard shape and
+// population bookkeeping, per-shard query/cache counters advancing with
+// traffic, and the whole section absent on an unsharded service.
+func TestShardedStats(t *testing.T) {
+	const k = 4
+	svc := testService(t, 120, Options{Shards: k, CacheSize: 256})
+	st := svc.Stats()
+	if st.ShardCount != k {
+		t.Fatalf("ShardCount = %d, want %d", st.ShardCount, k)
+	}
+	if len(st.Shards) != k {
+		t.Fatalf("len(Shards) = %d, want %d", len(st.Shards), k)
+	}
+	if !st.PortalsFresh {
+		t.Fatal("PortalRefresh=1 service published a stale portal table")
+	}
+	nodes, portals := 0, 0
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Fatalf("Shards[%d].Shard = %d", i, sh.Shard)
+		}
+		nodes += sh.Nodes
+		portals += sh.Portals
+		if sh.Queries != 0 || sh.CacheHits != 0 {
+			t.Fatalf("shard %d has traffic before any route: %+v", i, sh)
+		}
+	}
+	if live := svc.Snapshot().Live(); nodes != live {
+		t.Fatalf("per-shard nodes sum to %d, want %d live", nodes, live)
+	}
+	if portals != st.Portals {
+		t.Fatalf("per-shard portals sum to %d, want %d", portals, st.Portals)
+	}
+
+	// Drive the same pair twice: one miss then one hit on the owning
+	// shard's cache; the counters must attribute both to exactly one shard.
+	snap := svc.Snapshot()
+	rng := rand.New(rand.NewSource(7))
+	src, dst, ok := twoLive(rng, snap.Alive)
+	if !ok {
+		t.Fatal("no live pair")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := snap.Route(routing.SchemeShortestPath, src, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = svc.Stats()
+	var q, hits, misses uint64
+	for _, sh := range st.Shards {
+		q += sh.Queries
+		hits += sh.CacheHits
+		misses += sh.CacheMisses
+	}
+	if q != 2 || hits != 1 || misses != 1 {
+		t.Fatalf("shard counters after miss+hit: queries=%d hits=%d misses=%d, want 2/1/1", q, hits, misses)
+	}
+
+	// Greedy routing bypasses the shortest-path shard machinery entirely.
+	if _, err := snap.Route(routing.SchemeGreedy, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	var q2 uint64
+	for _, sh := range svc.Stats().Shards {
+		q2 += sh.Queries
+	}
+	if q2 != q {
+		t.Fatalf("greedy route moved shard query counter %d -> %d", q, q2)
+	}
+
+	un := testService(t, 60, Options{})
+	ust := un.Stats()
+	if ust.ShardCount != 0 || len(ust.Shards) != 0 || ust.Portals != 0 {
+		t.Fatalf("unsharded service reports shard stats: count=%d shards=%d portals=%d",
+			ust.ShardCount, len(ust.Shards), ust.Portals)
+	}
+}
+
+// TestLazyPoolAllocation pins the lazy searcher/scratch pool discipline:
+// constructing a service (sharded or not) allocates zero searchers and
+// zero scratch workspaces; a sequential request stream allocates at most
+// one of each and then reuses them.
+func TestLazyPoolAllocation(t *testing.T) {
+	svc := testService(t, 100, Options{Shards: 4, Searchers: 8, CacheSize: 0})
+	if got := svc.searchers.allocs.Load(); got != 0 {
+		t.Fatalf("construction allocated %d searchers, want 0", got)
+	}
+	for i, sp := range svc.scratch {
+		if got := sp.allocs.Load(); got != 0 {
+			t.Fatalf("construction allocated %d scratches for shard %d, want 0", got, i)
+		}
+	}
+
+	snap := svc.Snapshot()
+	rng := rand.New(rand.NewSource(33))
+	routed := 0
+	for routed < 40 {
+		src, dst, ok := twoLive(rng, snap.Alive)
+		if !ok {
+			continue
+		}
+		if _, err := snap.Route(routing.SchemeShortestPath, src, dst); err != nil {
+			t.Fatal(err)
+		}
+		routed++
+	}
+	// Sequential traffic: each route releases before the next acquires,
+	// so demand never exceeds one searcher and one scratch per shard.
+	if got := svc.searchers.allocs.Load(); got > 1 {
+		t.Fatalf("sequential stream allocated %d searchers, want ≤ 1", got)
+	}
+	var scratches uint64
+	for _, sp := range svc.scratch {
+		scratches += sp.allocs.Load()
+	}
+	if scratches > uint64(len(svc.scratch)) {
+		t.Fatalf("sequential stream allocated %d scratches across %d shards", scratches, len(svc.scratch))
+	}
+
+	un := testService(t, 60, Options{Searchers: 4})
+	if got := un.searchers.allocs.Load(); got != 0 {
+		t.Fatalf("unsharded construction allocated %d searchers, want 0", got)
+	}
+}

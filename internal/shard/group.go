@@ -1,0 +1,881 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"topoctl/internal/core"
+	"topoctl/internal/dynamic"
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+)
+
+// Options configures a Group.
+type Options struct {
+	// Dynamic configures every per-shard engine (T, Radius, Metric, Dim).
+	Dynamic dynamic.Options
+	// K is the shard count, ≥ 2 (use a plain dynamic.Engine for 1).
+	K int
+	// PortalRefresh rebuilds the inter-portal distance table every
+	// PortalRefresh-th export (default 1: every publish serves a fresh
+	// table). Raising it amortizes the table's Dijkstra sweeps over more
+	// commits: exports in between publish views whose TableFresh is
+	// false, and readers fall back to the global combined search — never
+	// wrong, only slower.
+	PortalRefresh int
+}
+
+// Loc addresses a live vertex: the shard owning it and its local slot
+// id inside that shard's engine. Shard < 0 marks a free global slot.
+type Loc struct {
+	Shard int32
+	Local int32
+}
+
+// shardState is one shard: its engine, the local→global id binding, and
+// the per-shard delta-export bookkeeping the group's combined export
+// diffs against.
+type shardState struct {
+	eng *dynamic.Engine
+
+	// glob maps local slot → global id (-1 free). globSnap is the
+	// immutable binding as of the last group export: the export diff
+	// translates *old* frozen rows through it, because a local slot may
+	// have been freed and reused (leave + join) since — the old row's
+	// edges belong to the old binding.
+	glob     []int
+	globSnap []int
+
+	// prevBase/prevSp are the shard's frozen exports as of the last
+	// group export; the next export diffs the fresh frozen rows against
+	// them to update the combined mirrors.
+	prevBase, prevSp *graph.Frozen
+
+	// rebound lists local slots whose glob binding changed since the
+	// last export. Their rows are force-diffed even if the engine's
+	// touched set missed them (a leave+join that reproduces a
+	// byte-identical row still changes which global vertex owns it).
+	rebound []int
+
+	inBatch     bool
+	lastChanged uint64 // group seq of the last export that changed this shard
+
+	jobs chan func() // the shard's writer goroutine feed
+}
+
+type cutPair struct{ u, v int }
+
+type edgeOp struct {
+	u, v int
+	w    float64
+}
+
+// Group shards a dynamic topology across K engines while exposing the
+// exact commit/export contract of a single dynamic.Engine: Join, Leave,
+// Move (global ids), Begin/Commit batching, and a delta-aware
+// ExportFrozen over the combined topology — per-shard spanners plus all
+// cut base edges — with LastExportTouched reporting the changed global
+// rows. That contract is what the service writer, the WAL append hook,
+// and the replication stream consume, so a sharded leader is durable
+// and replicable with zero changes to those layers (followers rebuild
+// the combined snapshot and stay unsharded).
+//
+// Each mutation is routed to the owning shard's engine; a move that
+// crosses a cut becomes leave+join (the global id is preserved — only
+// the local binding changes). Repair work — the expensive part of a
+// commit — fans out across the per-shard writer goroutines; everything
+// else (structural op application, mirror maintenance, portal refresh)
+// runs on the caller's goroutine. A Group is not safe for concurrent
+// use, exactly like the Engine it stands in for.
+type Group struct {
+	opts  Options
+	dopts dynamic.Options // normalized engine options
+	dim   int
+
+	part   *Partition
+	shards []*shardState
+
+	// Global slot space, engine-style: dense ids with free-list reuse
+	// and doubling growth; mirrors the capacity discipline of
+	// dynamic.Engine so snapshots look identical to unsharded ones.
+	loc     []Loc
+	locSnap []Loc // immutable copy as of the last export (shared with views)
+	points  []geom.Point
+	alive   []bool
+	free    []int
+	n       int
+
+	grid *geom.DynamicGrid // all live points, global ids; cut discovery
+	nbrs []int             // grid query scratch
+
+	// cutAdj tracks the cross-shard base edges (the "cut" edges) by
+	// global id: cutAdj[u][v] is the Euclidean length. cutDrops/cutAdds
+	// record the pairs whose cut status changed since the last export;
+	// the export reconciles the combined mirrors from them (current
+	// cutAdj state is the truth — a stale add is skipped).
+	cutAdj   []map[int]float64
+	cutDrops []cutPair
+	cutAdds  []cutPair
+
+	// base/sp are the combined mutable mirrors in global id space:
+	// union of the per-shard engines' graphs (translated) plus the cut
+	// edges, kept in sync at export time by diffing per-shard frozen
+	// rows. They exist so the combined export can reuse
+	// graph.UpdateFrozen's delta publishing.
+	base *graph.Graph // Euclidean weights
+	sp   *graph.Graph // metric weights
+
+	touched  map[int]struct{}
+	touchBuf []int
+
+	expBase, expSp *graph.Frozen
+	expPoints      []geom.Point
+	expAlive       []bool
+	lastTouched    []int
+	exportClean    bool
+	locDirty       bool
+
+	// rows/matched/remB... are export scratch.
+	rows       []int
+	matched    []bool
+	remB, addB []edgeOp
+	remS, addS []edgeOp
+
+	seq          uint64 // export sequence; stamps views and staleness
+	table        *PortalTable
+	tableSeq     uint64
+	sinceRefresh int
+
+	view *View
+
+	batch  bool
+	closed bool
+}
+
+// normalizeDynamic mirrors dynamic.Options' normalization (unexported
+// there) so the group can partition on the effective radius before any
+// engine exists.
+func normalizeDynamic(o dynamic.Options) (dynamic.Options, error) {
+	if o.T <= 1 {
+		return o, fmt.Errorf("shard: stretch t = %v must exceed 1", o.T)
+	}
+	if o.Radius == 0 {
+		o.Radius = 1
+	}
+	if o.Radius < 0 {
+		return o, fmt.Errorf("shard: radius %v must be positive", o.Radius)
+	}
+	if o.Metric == (core.Metric{}) {
+		o.Metric = core.EuclideanMetric
+	}
+	return o, o.Metric.Validate()
+}
+
+// New builds a sharded group over the initial deployment. Global ids
+// are assigned in input order (0..len(points)-1), exactly like
+// dynamic.New, so callers see the same id contract whether or not they
+// shard.
+func New(points []geom.Point, opts Options) (*Group, error) {
+	for i, p := range points {
+		if p == nil {
+			return nil, fmt.Errorf("shard: initial point %d is nil", i)
+		}
+	}
+	return newGroup(points, opts)
+}
+
+// Restore rebuilds a sharded group from slot-indexed recovered state —
+// the WAL recovery path. Global ids, liveness, and the free-slot order
+// are preserved exactly (a replayed log keeps naming the same
+// vertices), but the per-shard spanners are rebuilt from scratch: a
+// checkpointed combined spanner does not decompose into valid per-shard
+// invariants under a freshly derived partition, so the group re-runs
+// greedy per stripe instead of trusting pre-crash rows. The restored
+// combined topology is a t-spanner of the same base graph yet not
+// row-identical to the checkpoint — the caller must write a fresh
+// checkpoint before appending new frames (cmd/topoctld does).
+func Restore(points []geom.Point, alive []bool, opts Options) (*Group, error) {
+	if len(points) != len(alive) {
+		return nil, fmt.Errorf("shard: restore length mismatch: %d points, %d alive", len(points), len(alive))
+	}
+	masked := make([]geom.Point, len(points))
+	for i, a := range alive {
+		if !a {
+			continue
+		}
+		if points[i] == nil {
+			return nil, fmt.Errorf("shard: restore live slot %d has no point", i)
+		}
+		masked[i] = points[i]
+	}
+	return newGroup(masked, opts)
+}
+
+// newGroup is the hole-tolerant constructor behind New and Restore:
+// points is slot-indexed, nil marking dead slots.
+func newGroup(points []geom.Point, opts Options) (*Group, error) {
+	if opts.K < 2 {
+		return nil, fmt.Errorf("shard: K = %d must be at least 2", opts.K)
+	}
+	if opts.PortalRefresh <= 0 {
+		opts.PortalRefresh = 1
+	}
+	dopts, err := normalizeDynamic(opts.Dynamic)
+	if err != nil {
+		return nil, err
+	}
+	dim := dopts.Dim
+	for gid, p := range points {
+		if p == nil {
+			continue
+		}
+		if dim == 0 {
+			dim = p.Dim()
+		}
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("shard: point %d has dimension %d, want %d", gid, p.Dim(), dim)
+		}
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("shard: empty group needs Options.Dynamic.Dim")
+	}
+	dopts.Dim = dim
+
+	g := &Group{
+		opts:    opts,
+		dopts:   dopts,
+		dim:     dim,
+		part:    NewPartition(points, opts.K, dopts.Radius),
+		grid:    geom.NewDynamicGrid(dopts.Radius),
+		touched: make(map[int]struct{}),
+	}
+
+	// Global slot space with engine-style padding (min capacity 4). Free
+	// slots are handed out lowest id first, matching dynamic.Restore.
+	capacity := len(points)
+	if capacity < 4 {
+		capacity = 4
+	}
+	g.points = make([]geom.Point, capacity)
+	g.alive = make([]bool, capacity)
+	g.loc = make([]Loc, capacity)
+	g.cutAdj = make([]map[int]float64, capacity)
+	for i := range g.loc {
+		g.loc[i] = Loc{Shard: -1, Local: -1}
+	}
+	for id := capacity - 1; id >= 0; id-- {
+		if id >= len(points) || points[id] == nil {
+			g.free = append(g.free, id)
+		}
+	}
+
+	// Bucket the deployment, build one engine per stripe.
+	buckets := make([][]geom.Point, opts.K)
+	for gid, p := range points {
+		if p == nil {
+			continue
+		}
+		s := g.part.Owner(p)
+		g.loc[gid] = Loc{Shard: int32(s), Local: int32(len(buckets[s]))}
+		g.points[gid] = p.Clone()
+		g.alive[gid] = true
+		buckets[s] = append(buckets[s], g.points[gid])
+		g.grid.Add(gid, g.points[gid])
+		g.n++
+	}
+	g.shards = make([]*shardState, opts.K)
+	for s := range g.shards {
+		eng, err := dynamic.New(buckets[s], dopts)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shardState{eng: eng, jobs: make(chan func())}
+		go func() {
+			for job := range sh.jobs {
+				job()
+			}
+		}()
+		g.shards[s] = sh
+	}
+	for gid := range points {
+		lc := g.loc[gid]
+		if lc.Shard < 0 {
+			continue
+		}
+		sh := g.shards[lc.Shard]
+		for int(lc.Local) >= len(sh.glob) {
+			sh.glob = append(sh.glob, -1)
+		}
+		sh.glob[lc.Local] = gid
+	}
+
+	// Cut discovery over the global grid: every cross-shard base edge.
+	for gid := range points {
+		if !g.alive[gid] {
+			continue
+		}
+		g.nbrs = g.grid.NeighborsAppend(g.nbrs[:0], g.points[gid], g.dopts.Radius, gid)
+		for _, v := range g.nbrs {
+			if v < gid || g.loc[v].Shard == g.loc[gid].Shard {
+				continue
+			}
+			g.addCutPair(gid, v)
+		}
+	}
+	g.cutAdds = g.cutAdds[:0] // construction builds mirrors directly below
+
+	// Combined mutable mirrors: translated per-shard graphs + cuts.
+	g.base = graph.New(capacity)
+	g.sp = graph.New(capacity)
+	for _, sh := range g.shards {
+		for _, e := range sh.eng.Base().EdgesUnordered() {
+			g.base.AddEdge(sh.glob[e.U], sh.glob[e.V], e.W)
+		}
+		for _, e := range sh.eng.Spanner().EdgesUnordered() {
+			g.sp.AddEdge(sh.glob[e.U], sh.glob[e.V], e.W)
+		}
+	}
+	for u, m := range g.cutAdj {
+		for v, d := range m {
+			if v < u {
+				continue
+			}
+			g.base.AddEdge(u, v, d)
+			g.sp.AddEdge(u, v, g.dopts.Metric.Weight(d))
+		}
+	}
+
+	// Initial export state: frozen combined graphs, per-shard export
+	// baselines, portal table, view.
+	g.expBase = graph.Freeze(g.base)
+	g.expSp = graph.Freeze(g.sp)
+	g.expPoints = append([]geom.Point(nil), g.points...)
+	g.expAlive = append([]bool(nil), g.alive...)
+	g.locSnap = append([]Loc(nil), g.loc...)
+	for _, sh := range g.shards {
+		_, _, fb, fs := sh.eng.ExportFrozen()
+		sh.prevBase, sh.prevSp = fb, fs
+		sh.globSnap = append([]int(nil), sh.glob...)
+	}
+	g.seq = 1
+	g.refreshTable()
+	g.buildView()
+	g.exportClean = true
+	return g, nil
+}
+
+// Close stops the per-shard writer goroutines. The group's data remains
+// readable; further mutations panic.
+func (g *Group) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, sh := range g.shards {
+		close(sh.jobs)
+	}
+}
+
+// K returns the shard count.
+func (g *Group) K() int { return g.opts.K }
+
+// N returns the live node count.
+func (g *Group) N() int { return g.n }
+
+// Dim returns the embedding dimension.
+func (g *Group) Dim() int { return g.dim }
+
+// Options returns the normalized per-engine options (the service reads
+// T and Radius back from here, same as with a bare engine).
+func (g *Group) Options() dynamic.Options { return g.dopts }
+
+// Partition returns the spatial partition queries and mutations are
+// routed by.
+func (g *Group) Partition() *Partition { return g.part }
+
+// Alive reports whether the global slot holds a live node.
+func (g *Group) Alive(id int) bool {
+	return id >= 0 && id < len(g.alive) && g.alive[id]
+}
+
+// Point returns the live node's position (nil for free slots).
+func (g *Group) Point(id int) geom.Point {
+	if !g.Alive(id) {
+		return nil
+	}
+	return g.points[id]
+}
+
+// Begin starts batched mode: structural updates apply immediately but
+// per-shard repair is deferred to Commit, which fans it out across the
+// shard writer goroutines.
+func (g *Group) Begin() { g.batch = true }
+
+// Commit runs the deferred repair of every shard the batch touched, in
+// parallel, and returns when all shards are repaired.
+func (g *Group) Commit() {
+	if !g.batch {
+		return
+	}
+	g.batch = false
+	var wg sync.WaitGroup
+	for _, sh := range g.shards {
+		if !sh.inBatch {
+			continue
+		}
+		sh.inBatch = false
+		wg.Add(1)
+		eng := sh.eng
+		sh.jobs <- func() {
+			eng.Commit()
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// beginShard lazily opens the engine-level batch for a shard the group
+// batch is about to touch.
+func (g *Group) beginShard(s int) *shardState {
+	sh := g.shards[s]
+	if g.batch && !sh.inBatch {
+		sh.eng.Begin()
+		sh.inBatch = true
+	}
+	return sh
+}
+
+// alloc hands out a global slot, growing the slot space (and both
+// mirrors) with engine-style doubling.
+func (g *Group) alloc() int {
+	if k := len(g.free); k > 0 {
+		id := g.free[k-1]
+		g.free = g.free[:k-1]
+		return id
+	}
+	old := len(g.points)
+	next := 2 * old
+	g.points = append(g.points, make([]geom.Point, next-old)...)
+	g.alive = append(g.alive, make([]bool, next-old)...)
+	g.loc = append(g.loc, make([]Loc, next-old)...)
+	g.cutAdj = append(g.cutAdj, make([]map[int]float64, next-old)...)
+	for i := old; i < next; i++ {
+		g.loc[i] = Loc{Shard: -1, Local: -1}
+	}
+	g.base.Grow(next)
+	g.sp.Grow(next)
+	for id := next - 1; id > old; id-- {
+		g.free = append(g.free, id)
+	}
+	return old
+}
+
+// Join admits a node, assigning a global slot id; the point decides the
+// owning shard.
+func (g *Group) Join(p geom.Point) (int, error) {
+	if p.Dim() != g.dim {
+		return 0, fmt.Errorf("shard: join dimension %d, want %d", p.Dim(), g.dim)
+	}
+	pt := p.Clone()
+	s := g.part.Owner(pt)
+	sh := g.beginShard(s)
+	l, err := sh.eng.Join(pt)
+	if err != nil {
+		return 0, err
+	}
+	gid := g.alloc()
+	g.bind(sh, l, gid)
+	g.loc[gid] = Loc{Shard: int32(s), Local: int32(l)}
+	g.points[gid] = pt
+	g.alive[gid] = true
+	g.n++
+	g.grid.Add(gid, pt)
+	g.rescanCuts(gid, s)
+	g.dirtied()
+	g.locDirty = true
+	return gid, nil
+}
+
+// Leave retires the node, freeing its global slot for reuse.
+func (g *Group) Leave(id int) error {
+	if !g.Alive(id) {
+		return fmt.Errorf("shard: leave of unknown node %d", id)
+	}
+	lc := g.loc[id]
+	sh := g.beginShard(int(lc.Shard))
+	if err := sh.eng.Leave(int(lc.Local)); err != nil {
+		return err
+	}
+	g.dropCuts(id)
+	g.unbind(sh, int(lc.Local))
+	g.loc[id] = Loc{Shard: -1, Local: -1}
+	g.grid.Remove(id)
+	g.points[id] = nil
+	g.alive[id] = false
+	g.free = append(g.free, id)
+	g.n--
+	g.dirtied()
+	g.locDirty = true
+	return nil
+}
+
+// Move relocates the node. A move within its stripe is an engine move;
+// a move that crosses a cut becomes leave+join across the two engines,
+// preserving the global id (only the local binding changes).
+func (g *Group) Move(id int, p geom.Point) error {
+	if !g.Alive(id) {
+		return fmt.Errorf("shard: move of unknown node %d", id)
+	}
+	if p.Dim() != g.dim {
+		return fmt.Errorf("shard: move dimension %d, want %d", p.Dim(), g.dim)
+	}
+	pt := p.Clone()
+	old := g.loc[id]
+	ns := g.part.Owner(pt)
+	if int(old.Shard) == ns {
+		sh := g.beginShard(ns)
+		if err := sh.eng.Move(int(old.Local), pt); err != nil {
+			return err
+		}
+	} else {
+		osh := g.beginShard(int(old.Shard))
+		nsh := g.beginShard(ns)
+		if err := osh.eng.Leave(int(old.Local)); err != nil {
+			return err
+		}
+		g.unbind(osh, int(old.Local))
+		l, err := nsh.eng.Join(pt)
+		if err != nil {
+			// Dimension was validated above; an engine join cannot fail
+			// past that, but never strand the vertex half-moved.
+			panic(fmt.Sprintf("shard: cross-shard rejoin failed: %v", err))
+		}
+		g.bind(nsh, l, id)
+		g.loc[id] = Loc{Shard: int32(ns), Local: int32(l)}
+		g.locDirty = true
+	}
+	g.points[id] = pt
+	g.grid.Move(id, pt)
+	g.rescanCuts(id, ns)
+	g.dirtied()
+	return nil
+}
+
+// bind records local slot l of sh as holding global id gid.
+func (g *Group) bind(sh *shardState, l, gid int) {
+	for l >= len(sh.glob) {
+		sh.glob = append(sh.glob, -1)
+	}
+	sh.glob[l] = gid
+	sh.rebound = append(sh.rebound, l)
+}
+
+// unbind frees local slot l of sh.
+func (g *Group) unbind(sh *shardState, l int) {
+	sh.glob[l] = -1
+	sh.rebound = append(sh.rebound, l)
+}
+
+func (g *Group) dirtied() { g.exportClean = false }
+
+// addCutPair registers the cross-shard base edge {u, v}.
+func (g *Group) addCutPair(u, v int) {
+	d := geom.Dist(g.points[u], g.points[v])
+	if g.cutAdj[u] == nil {
+		g.cutAdj[u] = make(map[int]float64, 4)
+	}
+	if g.cutAdj[v] == nil {
+		g.cutAdj[v] = make(map[int]float64, 4)
+	}
+	g.cutAdj[u][v] = d
+	g.cutAdj[v][u] = d
+	g.cutAdds = append(g.cutAdds, cutPair{u, v})
+}
+
+// dropCuts removes every cut edge incident to u (the vertex is leaving,
+// or moving — rescanCuts re-adds the survivors from its new position).
+func (g *Group) dropCuts(u int) {
+	m := g.cutAdj[u]
+	if len(m) == 0 {
+		return
+	}
+	for v := range m {
+		delete(g.cutAdj[v], u)
+		g.cutDrops = append(g.cutDrops, cutPair{u, v})
+	}
+	g.cutAdj[u] = nil
+}
+
+// rescanCuts recomputes u's cut incidence from its current position:
+// drop everything, then re-add each in-radius neighbor owned by a
+// different shard. s is u's (current) shard.
+func (g *Group) rescanCuts(u, s int) {
+	g.dropCuts(u)
+	g.nbrs = g.grid.NeighborsAppend(g.nbrs[:0], g.points[u], g.dopts.Radius, u)
+	for _, v := range g.nbrs {
+		if int(g.loc[v].Shard) == s {
+			continue
+		}
+		g.addCutPair(u, v)
+	}
+}
+
+func (g *Group) touch(v int) { g.touched[v] = struct{}{} }
+
+// LastExportTouched returns the sorted global vertex ids whose combined
+// adjacency rows the last ExportFrozen re-froze; valid until the next
+// export. Same contract as dynamic.Engine.LastExportTouched — the WAL
+// delta frames and the hub-label oracle consume it unchanged.
+func (g *Group) LastExportTouched() []int { return g.lastTouched }
+
+// ExportFrozen publishes the combined topology: slot-indexed points and
+// liveness, plus frozen base and spanner graphs over global ids — the
+// union of every shard's spanner and all cut base edges. The export is
+// delta-aware end to end: per-shard engines re-freeze only their
+// touched rows, the group diffs exactly those rows into its combined
+// mirrors, and graph.UpdateFrozen shares every untouched combined row
+// with the previous export. Returned values are immutable.
+func (g *Group) ExportFrozen() ([]geom.Point, []bool, *graph.Frozen, *graph.Frozen) {
+	if g.exportClean {
+		return g.expPoints, g.expAlive, g.expBase, g.expSp
+	}
+	g.seq++
+	for k := range g.touched {
+		delete(g.touched, k)
+	}
+	g.remB, g.addB = g.remB[:0], g.addB[:0]
+	g.remS, g.addS = g.remS[:0], g.addS[:0]
+
+	for _, sh := range g.shards {
+		g.diffShard(sh)
+	}
+
+	// Reconcile cut-edge deltas against current truth (cutAdj): a pair
+	// dropped and re-added within the window removes then re-adds; a
+	// stale add (pair no longer cut) is skipped by the lookup. Sorting
+	// keeps mirror mutation order — and with it frozen row order —
+	// deterministic despite map iteration in dropCuts.
+	sortCutPairs(g.cutDrops)
+	sortCutPairs(g.cutAdds)
+
+	// Phase 1: all removals (intra-shard diffs + cut drops). Guarded by
+	// HasEdge so pairs reported from both endpoint rows, or dropped
+	// twice across a move chain, apply once.
+	for _, e := range g.remB {
+		if g.base.RemoveEdge(e.u, e.v) {
+			g.touch(e.u)
+			g.touch(e.v)
+		}
+	}
+	for _, e := range g.remS {
+		if g.sp.RemoveEdge(e.u, e.v) {
+			g.touch(e.u)
+			g.touch(e.v)
+		}
+	}
+	for _, c := range g.cutDrops {
+		if g.base.RemoveEdge(c.u, c.v) {
+			g.touch(c.u)
+			g.touch(c.v)
+		}
+		if g.sp.RemoveEdge(c.u, c.v) {
+			g.touch(c.u)
+			g.touch(c.v)
+		}
+	}
+	// Phase 2: all additions. Same-shard pairs come from fresh frozen
+	// rows (current truth); cut pairs consult cutAdj for the current
+	// length. After phase 1 a pair is present iff it survived unchanged,
+	// so the HasEdge guard also collapses duplicates.
+	for _, e := range g.addB {
+		if !g.base.HasEdge(e.u, e.v) {
+			g.base.AddEdge(e.u, e.v, e.w)
+			g.touch(e.u)
+			g.touch(e.v)
+		}
+	}
+	for _, e := range g.addS {
+		if !g.sp.HasEdge(e.u, e.v) {
+			g.sp.AddEdge(e.u, e.v, e.w)
+			g.touch(e.u)
+			g.touch(e.v)
+		}
+	}
+	for _, c := range g.cutAdds {
+		d, ok := g.cutAdj[c.u][c.v]
+		if !ok {
+			continue
+		}
+		if !g.base.HasEdge(c.u, c.v) {
+			g.base.AddEdge(c.u, c.v, d)
+			g.touch(c.u)
+			g.touch(c.v)
+		}
+		if !g.sp.HasEdge(c.u, c.v) {
+			g.sp.AddEdge(c.u, c.v, g.dopts.Metric.Weight(d))
+			g.touch(c.u)
+			g.touch(c.v)
+		}
+	}
+	g.cutDrops, g.cutAdds = g.cutDrops[:0], g.cutAdds[:0]
+
+	g.touchBuf = g.touchBuf[:0]
+	for v := range g.touched {
+		g.touchBuf = append(g.touchBuf, v)
+	}
+	sort.Ints(g.touchBuf)
+	g.lastTouched = g.touchBuf
+
+	g.expBase = graph.UpdateFrozen(g.expBase, g.base, g.lastTouched)
+	g.expSp = graph.UpdateFrozen(g.expSp, g.sp, g.lastTouched)
+	g.expPoints = append([]geom.Point(nil), g.points...)
+	g.expAlive = append([]bool(nil), g.alive...)
+	if g.locDirty {
+		g.locSnap = append([]Loc(nil), g.loc...)
+		g.locDirty = false
+	}
+
+	g.sinceRefresh++
+	if g.table == nil || g.sinceRefresh >= g.opts.PortalRefresh {
+		g.refreshTable()
+	}
+	g.buildView()
+	g.exportClean = true
+	return g.expPoints, g.expAlive, g.expBase, g.expSp
+}
+
+// diffShard folds one shard's frozen-row deltas into the combined
+// add/remove lists: for every local row the engine re-froze (plus every
+// rebound slot), the multiset difference old-row → new-row becomes
+// removals under the *previous* binding and additions under the current
+// one.
+func (g *Group) diffShard(sh *shardState) {
+	_, _, nb, nsp := sh.eng.ExportFrozen()
+	lt := sh.eng.LastExportTouched()
+	if len(lt) == 0 && len(sh.rebound) == 0 {
+		sh.prevBase, sh.prevSp = nb, nsp
+		return
+	}
+	g.rows = append(g.rows[:0], lt...)
+	g.rows = append(g.rows, sh.rebound...)
+	sort.Ints(g.rows)
+	prev := -1
+	for _, lu := range g.rows {
+		if lu == prev {
+			continue
+		}
+		prev = lu
+		g.diffRow(sh, lu, sh.prevBase, nb, &g.remB, &g.addB)
+		g.diffRow(sh, lu, sh.prevSp, nsp, &g.remS, &g.addS)
+	}
+	sh.prevBase, sh.prevSp = nb, nsp
+	if len(sh.rebound) > 0 {
+		sh.globSnap = append(sh.globSnap[:0:0], sh.glob...)
+		sh.rebound = sh.rebound[:0]
+	}
+	sh.lastChanged = g.seq
+}
+
+// diffRow diffs one local adjacency row between the shard's previous
+// and current frozen export, translating removed halfedges through the
+// previous binding (globSnap) and added ones through the current (glob).
+func (g *Group) diffRow(sh *shardState, lu int, prev, cur *graph.Frozen, rem, add *[]edgeOp) {
+	var oldRow, newRow []graph.Halfedge
+	if prev != nil && lu < prev.N() {
+		oldRow = prev.Neighbors(lu)
+	}
+	if lu < cur.N() {
+		newRow = cur.Neighbors(lu)
+	}
+	if len(g.matched) < len(newRow) {
+		g.matched = make([]bool, len(newRow))
+	}
+	matched := g.matched[:len(newRow)]
+	for i := range matched {
+		matched[i] = false
+	}
+outer:
+	for _, oh := range oldRow {
+		for j, nh := range newRow {
+			if !matched[j] && nh.To == oh.To && nh.W == oh.W {
+				matched[j] = true
+				continue outer
+			}
+		}
+		*rem = append(*rem, edgeOp{u: gidAt(sh.globSnap, lu), v: gidAt(sh.globSnap, oh.To), w: oh.W})
+	}
+	for j, nh := range newRow {
+		if !matched[j] {
+			*add = append(*add, edgeOp{u: gidAt(sh.glob, lu), v: gidAt(sh.glob, nh.To), w: nh.W})
+		}
+	}
+}
+
+// gidAt is the bounds-tolerant binding lookup: a slot beyond the
+// binding array was never bound (-1). A -1 in an edge op would be a
+// bookkeeping bug; the mirror's range panic surfaces it loudly in tests
+// rather than silently corrupting the combined graph.
+func gidAt(ids []int, l int) int {
+	if l < 0 || l >= len(ids) {
+		return -1
+	}
+	return ids[l]
+}
+
+func sortCutPairs(ps []cutPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].u != ps[j].u {
+			return ps[i].u < ps[j].u
+		}
+		return ps[i].v < ps[j].v
+	})
+}
+
+// refreshTable rebuilds the portal table against the current combined
+// export and stamps it fresh.
+func (g *Group) refreshTable() {
+	portals := make([]int, 0, 64)
+	for gid, m := range g.cutAdj {
+		if len(m) > 0 && g.alive[gid] {
+			portals = append(portals, gid)
+		}
+	}
+	g.table = buildPortalTable(portals, g.locSnap, g.opts.K, g.expSp, g.expBase)
+	g.tableSeq = g.seq
+	g.sinceRefresh = 0
+}
+
+// buildView assembles the immutable per-shard view for this export.
+func (g *Group) buildView() {
+	shs := make([]ShardView, len(g.shards))
+	maxN := 0
+	for i, sh := range g.shards {
+		shs[i] = ShardView{
+			Base:        sh.prevBase,
+			Spanner:     sh.prevSp,
+			Glob:        sh.globSnap,
+			Live:        sh.eng.N(),
+			LastChanged: sh.lastChanged,
+		}
+		if n := sh.prevSp.N(); n > maxN {
+			maxN = n
+		}
+	}
+	g.view = &View{
+		Epoch:      g.seq,
+		Part:       g.part,
+		Loc:        g.locSnap,
+		Shards:     shs,
+		Base:       g.expBase,
+		Spanner:    g.expSp,
+		Table:      g.table,
+		TableFresh: g.tableSeq == g.seq,
+		MaxLocalN:  maxN,
+	}
+}
+
+// View returns the per-shard view matching the last ExportFrozen: local
+// frozen graphs, id bindings, and the portal table. Immutable; readers
+// route against it lock-free.
+func (g *Group) View() *View { return g.view }

@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"topoctl/internal/dynamic"
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/metrics"
+)
+
+// refCombined rebuilds the combined topology from scratch out of the
+// group's ground truth — per-shard engine graphs translated through the
+// current binding, plus every cut edge — and returns canonical edge-set
+// strings. The incremental mirror/diff machinery in ExportFrozen must
+// reproduce exactly this.
+func refCombined(g *Group) (base, sp string) {
+	var bk, sk []string
+	for _, sh := range g.shards {
+		for _, e := range sh.eng.Base().EdgesUnordered() {
+			bk = append(bk, edgeKey(sh.glob[e.U], sh.glob[e.V], e.W))
+		}
+		for _, e := range sh.eng.Spanner().EdgesUnordered() {
+			sk = append(sk, edgeKey(sh.glob[e.U], sh.glob[e.V], e.W))
+		}
+	}
+	for u, m := range g.cutAdj {
+		for v, d := range m {
+			if v < u {
+				continue
+			}
+			bk = append(bk, edgeKey(u, v, d))
+			sk = append(sk, edgeKey(u, v, g.dopts.Metric.Weight(d)))
+		}
+	}
+	sort.Strings(bk)
+	sort.Strings(sk)
+	return fmt.Sprint(bk), fmt.Sprint(sk)
+}
+
+func frozenKeys(f *graph.Frozen) string {
+	es := f.EdgesUnordered()
+	keys := make([]string, len(es))
+	for i, e := range es {
+		keys[i] = edgeKey(e.U, e.V, e.W)
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}
+
+func edgeKey(u, v int, w float64) string {
+	if u > v {
+		u, v = v, u
+	}
+	return fmt.Sprintf("%d-%d:%.9f", u, v, w)
+}
+
+// naiveBase renders the ground-truth base graph of the live points: every
+// pair within the connectivity radius.
+func naiveBase(g *Group) string {
+	var keys []string
+	for u := 0; u < len(g.points); u++ {
+		if !g.alive[u] {
+			continue
+		}
+		for v := u + 1; v < len(g.points); v++ {
+			if !g.alive[v] {
+				continue
+			}
+			if d := geom.Dist(g.points[u], g.points[v]); d <= g.dopts.Radius {
+				keys = append(keys, edgeKey(u, v, d))
+			}
+		}
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}
+
+// liveIDs returns the live global ids.
+func liveIDs(g *Group) []int {
+	ids := make([]int, 0, g.n)
+	for id := range g.alive {
+		if g.alive[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// mutate applies one random mutation through the group, mirroring the
+// op mix of the dynamic engine's own differential harness. Returns a
+// short op description for failure logs.
+func mutate(t *testing.T, g *Group, rng *rand.Rand, side float64) string {
+	t.Helper()
+	switch r := rng.Float64(); {
+	case r < 0.3:
+		p := make(geom.Point, g.Dim())
+		for i := range p {
+			p[i] = rng.Float64() * side
+		}
+		id, err := g.Join(p)
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		return fmt.Sprintf("join->%d", id)
+	case r < 0.55 && g.N() > 4:
+		ids := liveIDs(g)
+		id := ids[rng.Intn(len(ids))]
+		if err := g.Leave(id); err != nil {
+			t.Fatalf("leave %d: %v", id, err)
+		}
+		return fmt.Sprintf("leave %d", id)
+	default:
+		ids := liveIDs(g)
+		id := ids[rng.Intn(len(ids))]
+		p := g.Point(id).Clone()
+		for i := range p {
+			p[i] += rng.NormFloat64() * (side / 4)
+			if p[i] < 0 {
+				p[i] = 0
+			}
+			if p[i] > side {
+				p[i] = side
+			}
+		}
+		if err := g.Move(id, p); err != nil {
+			t.Fatalf("move %d: %v", id, err)
+		}
+		return fmt.Sprintf("move %d", id)
+	}
+}
+
+// TestGroupDifferentialExport is the pinning harness for the combined
+// delta export: over fuzzed mutation chains (random K, batching, and op
+// mixes — the side/4 move scale forces frequent boundary crossings),
+// after every export
+//
+//  1. the combined frozen base graph equals the naive all-pairs
+//     reference on the live points (so per-shard engines + cut
+//     discovery never lose or invent connectivity),
+//  2. both combined frozen graphs equal a from-scratch rebuild of
+//     per-shard graphs + cut edges (so the incremental row diffing,
+//     slot rebinding, and two-phase mirror reconciliation are exact),
+//  3. the combined spanner contains every cut edge and has stretch ≤ t
+//     over the combined base graph, and
+//  4. exported points/alive agree with the group's ground truth.
+func TestGroupDifferentialExport(t *testing.T) {
+	chains := 120
+	if testing.Short() {
+		chains = 30
+	}
+	for chain := 0; chain < chains; chain++ {
+		seed := int64(9000 + chain)
+		rng := rand.New(rand.NewSource(seed))
+		n0 := 16 + rng.Intn(48)
+		k := 2 + rng.Intn(3)
+		side := 3 + rng.Float64()*5
+		tStretch := []float64{1.3, 1.5, 2.0}[rng.Intn(3)]
+		pts := geom.GeneratePoints(geom.CloudConfig{Kind: geom.CloudUniform, N: n0, Dim: 2, Side: side, Seed: seed})
+
+		g, err := New(pts, Options{Dynamic: dynamic.Options{T: tStretch}, K: k})
+		if err != nil {
+			t.Fatalf("chain %d (seed %d): %v", chain, seed, err)
+		}
+
+		check := func(stage string) {
+			t.Helper()
+			ep, ea, eb, es := g.ExportFrozen()
+			if wantB := naiveBase(g); frozenKeys(eb) != wantB {
+				t.Fatalf("chain %d (seed %d) %s: combined base diverged from naive reference\n got: %s\nwant: %s",
+					chain, seed, stage, frozenKeys(eb), wantB)
+			}
+			refB, refS := refCombined(g)
+			if got := frozenKeys(eb); got != refB {
+				t.Fatalf("chain %d (seed %d) %s: incremental base mirror diverged\n got: %s\nwant: %s", chain, seed, stage, got, refB)
+			}
+			if got := frozenKeys(es); got != refS {
+				t.Fatalf("chain %d (seed %d) %s: incremental spanner mirror diverged\n got: %s\nwant: %s", chain, seed, stage, got, refS)
+			}
+			for u, m := range g.cutAdj {
+				for v := range m {
+					if !frozenHasEdge(es, u, v) {
+						t.Fatalf("chain %d (seed %d) %s: cut edge %d-%d missing from combined spanner", chain, seed, stage, u, v)
+					}
+				}
+			}
+			if s := metrics.Stretch(eb, es); s > tStretch+1e-9 {
+				t.Fatalf("chain %d (seed %d) %s: combined stretch %v exceeds %v", chain, seed, stage, s, tStretch)
+			}
+			for id := range ea {
+				if ea[id] != g.alive[id] {
+					t.Fatalf("chain %d (seed %d) %s: exported alive[%d] = %v, want %v", chain, seed, stage, id, ea[id], g.alive[id])
+				}
+				if ea[id] && geom.Dist(ep[id], g.points[id]) != 0 {
+					t.Fatalf("chain %d (seed %d) %s: exported point %d diverged", chain, seed, stage, id)
+				}
+			}
+		}
+
+		check("initial")
+		ops := 8 + rng.Intn(16)
+		batch := 1
+		if rng.Intn(2) == 0 {
+			batch = 2 + rng.Intn(4)
+		}
+		inBatch := 0
+		var last string
+		for op := 0; op < ops; op++ {
+			if batch > 1 && inBatch == 0 {
+				g.Begin()
+			}
+			last = mutate(t, g, rng, side)
+			inBatch++
+			if batch > 1 && (inBatch == batch || op == ops-1) {
+				g.Commit()
+				inBatch = 0
+			}
+			if batch == 1 || inBatch == 0 {
+				check(fmt.Sprintf("op %d (%s)", op, last))
+			}
+		}
+		g.Close()
+	}
+}
+
+func frozenHasEdge(f *graph.Frozen, u, v int) bool {
+	for _, h := range f.Neighbors(u) {
+		if h.To == v {
+			return true
+		}
+	}
+	return false
+}

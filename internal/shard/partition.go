@@ -1,0 +1,146 @@
+// Package shard partitions a dynamic topology into K grid-aligned
+// spatial regions, runs one dynamic.Engine per region behind a shared
+// façade (Group) that speaks the same commit/export contract as a
+// single engine, and stitches cross-shard shortest-path queries through
+// portal vertices precomputed at freeze time.
+//
+// The partition is a set of K axis-aligned stripes along the widest
+// bounding-box axis, with cut planes snapped to multiples of the
+// connectivity radius — the same cell side geom's grids use — so a base
+// edge (length ≤ radius) crosses at most one cut. Every base edge that
+// does cross a cut is a "cut edge"; its endpoints are the shard's
+// portal vertices. Cut edges are carried verbatim in every combined
+// snapshot (they are never thinned by any shard's greedy repair), which
+// is what makes the union of the per-shard spanners plus the cut edges
+// a valid t-spanner of the global base graph: an intra-shard base edge
+// is certified by its own engine's per-edge invariant, and a cut edge
+// certifies itself.
+package shard
+
+import (
+	"math"
+	"sort"
+
+	"topoctl/internal/geom"
+)
+
+// Partition is a grid-aligned 1-D stripe partition of space into K
+// regions along one axis. Region i owns the half-open slab
+// [Cuts[i-1], Cuts[i]) on Axis (with implicit ±Inf sentinels), so every
+// point belongs to exactly one region. Cuts are strictly increasing and
+// each is an integer multiple of Cell.
+type Partition struct {
+	// K is the region count (≥ 1).
+	K int
+	// Axis is the coordinate axis the stripes are perpendicular to.
+	Axis int
+	// Cuts holds the K-1 cut coordinates, strictly increasing.
+	Cuts []float64
+	// Cell is the alignment quantum (the connectivity radius).
+	Cell float64
+}
+
+// NewPartition builds a K-stripe partition of the given points: the
+// stripe axis is the widest bounding-box axis, and the K-1 cuts sit at
+// the population quantiles, snapped to the nearest multiple of cell.
+//
+// The snapping moves each cut by at most cell/2 off its quantile, so on
+// point sets whose density per cell-width slab is bounded (uniform and
+// moderately clustered clouds alike) shard populations stay within a
+// constant factor of n/K — the partition test pins the factor. Nil
+// points (free slots) are ignored; an empty point set yields evenly
+// spaced synthetic cuts so an initially empty deployment still shards.
+func NewPartition(points []geom.Point, k int, cell float64) *Partition {
+	if k < 1 {
+		panic("shard: partition needs k >= 1")
+	}
+	if cell <= 0 || math.IsInf(cell, 0) || math.IsNaN(cell) {
+		panic("shard: partition needs a positive finite cell")
+	}
+	axis := 0
+	var xs []float64
+	if n := livePoints(points); n > 0 {
+		dim := 0
+		for _, p := range points {
+			if p != nil {
+				dim = p.Dim()
+				break
+			}
+		}
+		var lo, hi []float64
+		lo, hi = make([]float64, dim), make([]float64, dim)
+		first := true
+		for _, p := range points {
+			if p == nil {
+				continue
+			}
+			for a := 0; a < dim; a++ {
+				if first || p[a] < lo[a] {
+					lo[a] = p[a]
+				}
+				if first || p[a] > hi[a] {
+					hi[a] = p[a]
+				}
+			}
+			first = false
+		}
+		for a := 1; a < dim; a++ {
+			if hi[a]-lo[a] > hi[axis]-lo[axis] {
+				axis = a
+			}
+		}
+		xs = make([]float64, 0, n)
+		for _, p := range points {
+			if p != nil {
+				xs = append(xs, p[axis])
+			}
+		}
+		sort.Float64s(xs)
+	}
+	cuts := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		var q float64
+		if len(xs) > 0 {
+			q = xs[i*len(xs)/k]
+		} else {
+			q = float64(i) * cell
+		}
+		cuts = append(cuts, math.Round(q/cell)*cell)
+	}
+	// Snapping can collapse adjacent quantiles onto the same multiple;
+	// keep the cuts strictly increasing (later regions may end up empty,
+	// which is fine — Owner stays total and exclusive).
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			cuts[i] = cuts[i-1] + cell
+		}
+	}
+	return &Partition{K: k, Axis: axis, Cuts: cuts, Cell: cell}
+}
+
+// Owner returns the region owning p: the number of cuts ≤ p[Axis], so a
+// point exactly on a cut belongs to the upper region. Every point is
+// owned by exactly one region in [0, K).
+func (pt *Partition) Owner(p geom.Point) int {
+	x := p[pt.Axis]
+	lo, hi := 0, len(pt.Cuts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x < pt.Cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func livePoints(points []geom.Point) int {
+	n := 0
+	for _, p := range points {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topoctl/internal/geom"
+)
+
+// naiveOwner is the reference assignment: count the cuts at or below the
+// coordinate by linear scan (the partition uses binary search).
+func naiveOwner(pt *Partition, p geom.Point) int {
+	s := 0
+	for _, c := range pt.Cuts {
+		if p[pt.Axis] >= c {
+			s++
+		}
+	}
+	return s
+}
+
+// zipfClustered draws a point cloud whose cluster populations follow a
+// zipf law (cluster k holds ~1/k of the mass) — the adversarial input
+// for quantile-cut balance, since most points pile into one hotspot.
+func zipfClustered(n, dim int, side float64, hotspots int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, hotspots)
+	for i := range centers {
+		c := make(geom.Point, dim)
+		for d := range c {
+			c[d] = rng.Float64() * side
+		}
+		centers[i] = c
+	}
+	var h float64
+	for k := 1; k <= hotspots; k++ {
+		h += 1 / float64(k)
+	}
+	sigma := side / (4 * float64(hotspots))
+	pts := make([]geom.Point, 0, n)
+	for k := 1; k <= hotspots; k++ {
+		m := int(float64(n) / (float64(k) * h))
+		if k == hotspots {
+			m = n - len(pts)
+		}
+		for i := 0; i < m; i++ {
+			p := make(geom.Point, dim)
+			for d := range p {
+				x := centers[k-1][d] + rng.NormFloat64()*sigma
+				p[d] = math.Min(side, math.Max(0, x))
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// TestPartitionDifferential pins the partitioner against the naive
+// reference assignment: every point lands in exactly one region in
+// [0, K), binary-search Owner agrees with the linear scan, and cuts are
+// strictly increasing multiples of the cell.
+func TestPartitionDifferential(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(400)
+		k := 2 + rng.Intn(7)
+		dim := 2 + rng.Intn(2)
+		side := 2 + rng.Float64()*30
+		cell := 0.5 + rng.Float64()*2
+		kind := []geom.Cloud{geom.CloudUniform, geom.CloudClustered, geom.CloudCorridor}[rng.Intn(3)]
+		pts := geom.GeneratePoints(geom.CloudConfig{Kind: kind, N: n, Dim: dim, Side: side, Seed: seed, Hotspots: 3})
+		part := NewPartition(pts, k, cell)
+
+		if len(part.Cuts) != k-1 {
+			t.Fatalf("seed %d: %d cuts, want %d", seed, len(part.Cuts), k-1)
+		}
+		for i, c := range part.Cuts {
+			if q := c / part.Cell; math.Abs(q-math.Round(q)) > 1e-9 {
+				t.Fatalf("seed %d: cut %d = %v is not a multiple of cell %v", seed, i, c, part.Cell)
+			}
+			if i > 0 && c <= part.Cuts[i-1] {
+				t.Fatalf("seed %d: cuts not strictly increasing: %v", seed, part.Cuts)
+			}
+		}
+		for i, p := range pts {
+			got := part.Owner(p)
+			if got < 0 || got >= k {
+				t.Fatalf("seed %d: point %d owned by %d, want [0,%d)", seed, i, got, k)
+			}
+			if want := naiveOwner(part, p); got != want {
+				t.Fatalf("seed %d: point %d at %v: Owner = %d, naive = %d (cuts %v)", seed, i, p, got, want, part.Cuts)
+			}
+		}
+	}
+}
+
+// TestPartitionBalance pins the documented balance factor: with cuts at
+// population quantiles snapped by at most cell/2, every region's
+// population stays within balanceFactor of the ideal n/K on uniform and
+// zipf-clustered clouds (side ≫ cell, so a half-cell slab carries a
+// small population fraction).
+func TestPartitionBalance(t *testing.T) {
+	const balanceFactor = 1.5
+	n, k := 4000, 4
+	cases := []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"uniform", geom.GeneratePoints(geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Side: 40, Seed: 7})},
+		{"zipf-clustered", zipfClustered(n, 2, 40, 5, 11)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			part := NewPartition(tc.pts, k, 1)
+			pop := make([]int, k)
+			for _, p := range tc.pts {
+				pop[part.Owner(p)]++
+			}
+			ideal := float64(n) / float64(k)
+			for s, c := range pop {
+				if float64(c) > ideal*balanceFactor || float64(c) < ideal/balanceFactor {
+					t.Fatalf("shard %d holds %d points, outside %g× of ideal %.0f (pops %v, cuts %v)",
+						s, c, balanceFactor, ideal, pop, part.Cuts)
+				}
+			}
+			t.Logf("%s populations: %v (ideal %.0f)", tc.name, pop, ideal)
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"topoctl/internal/graph"
+)
+
+// Portal is one portal vertex: an endpoint of a cut edge. Cross-shard
+// routes enter and leave a shard through its portals, so exact global
+// distances decompose as
+//
+//	dist(u, v) = min over portals p of u's shard, q of v's shard of
+//	             d_local(u, p) + D[p, q] + d_local(q, v)
+//
+// (for same-shard pairs additionally min'd with the direct local
+// distance). The identity is exact because any shortest path that
+// leaves a stripe does so over a cut edge: the prefix before the first
+// cut edge stays inside the source stripe's induced spanner, the suffix
+// after the last one inside the destination's, and the middle is a
+// global path between two portals — precomputed in D.
+type Portal struct {
+	// Global is the portal's global vertex id; Shard/Local its binding.
+	Global int
+	Shard  int32
+	Local  int32
+	// Row indexes the portal's row/column in the distance tables.
+	Row int32
+}
+
+// PortalTable is the precomputed inter-portal distance closure of one
+// combined export: exact global distances between every portal pair
+// over the combined spanner (D, metric weights) and the combined base
+// graph (DBase, Euclidean weights — the stretch denominator side).
+// Immutable once built.
+type PortalTable struct {
+	// Portals lists every portal ascending by global id; ByShard groups
+	// them per shard.
+	Portals []Portal
+	ByShard [][]Portal
+	// P is len(Portals); D and DBase are P×P row-major, indexed by Row.
+	P     int
+	D     []float64
+	DBase []float64
+}
+
+// buildPortalTable runs one full Dijkstra per portal per graph (spanner
+// and base) over the combined frozen export, fanned across GOMAXPROCS
+// goroutines — each with its own pooled Searcher and distance array.
+// portals must be sorted ascending.
+func buildPortalTable(portals []int, loc []Loc, k int, sp, base *graph.Frozen) *PortalTable {
+	p := len(portals)
+	t := &PortalTable{
+		Portals: make([]Portal, p),
+		ByShard: make([][]Portal, k),
+		P:       p,
+		D:       make([]float64, p*p),
+		DBase:   make([]float64, p*p),
+	}
+	for i, gid := range portals {
+		lc := loc[gid]
+		t.Portals[i] = Portal{Global: gid, Shard: lc.Shard, Local: lc.Local, Row: int32(i)}
+		t.ByShard[lc.Shard] = append(t.ByShard[lc.Shard], t.Portals[i])
+	}
+	if p == 0 {
+		return t
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p {
+		workers = p
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srch := graph.AcquireSearcher(sp.N())
+			defer graph.ReleaseSearcher(srch)
+			out := make([]float64, sp.N())
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= p {
+					return
+				}
+				srch.Dijkstra(sp, portals[i], graph.Inf, out)
+				row := t.D[i*p : (i+1)*p]
+				for j, q := range portals {
+					row[j] = out[q]
+				}
+				srch.Dijkstra(base, portals[i], graph.Inf, out)
+				row = t.DBase[i*p : (i+1)*p]
+				for j, q := range portals {
+					row[j] = out[q]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}

@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topoctl/internal/dynamic"
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+)
+
+// relClose is the repo-wide differential tolerance: floating-point sums
+// that associate differently (a stitched three-leg total vs one sweep)
+// agree to relative 1e-9.
+func relClose(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) == math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+// TestRouteFuzzDifferential pins portal-stitched routing against the
+// global search over the same combined snapshot, across ≥500 fuzzed
+// graphs + mutation chains: for every live endpoint pair sampled,
+//
+//   - deliverability matches exactly,
+//   - cost and stretch (cost over combined-base distance) match to
+//     relative 1e-9,
+//   - the returned path starts at src, ends at dst, walks existing
+//     combined-spanner edges, and its edge weights sum to the cost, and
+//   - View.Distance agrees with the route cost.
+//
+// A PortalRefresh=3 arm exercises the mid-update stale-table fallback:
+// between refreshes the view must decline (ok=false) — never answer
+// from a stale table — and the service's global search takes over.
+func TestRouteFuzzDifferential(t *testing.T) {
+	trials := 520
+	if testing.Short() {
+		trials = 80
+	}
+	staleDeclines, answered := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(40000 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		n0 := 24 + rng.Intn(72)
+		k := 2 + rng.Intn(3)
+		dim := 2
+		if rng.Intn(4) == 0 {
+			dim = 3
+		}
+		side := 2.5 + rng.Float64()*4.5
+		tStretch := []float64{1.3, 1.5, 2.0}[rng.Intn(3)]
+		refresh := 1
+		if trial%4 == 3 {
+			refresh = 3 // stale-fallback arm
+		}
+		pts := geom.GeneratePoints(geom.CloudConfig{
+			Kind: []geom.Cloud{geom.CloudUniform, geom.CloudClustered, geom.CloudGridJitter}[rng.Intn(3)],
+			N:    n0, Dim: dim, Side: side, Seed: seed, Hotspots: 3,
+		})
+		g, err := New(pts, Options{Dynamic: dynamic.Options{T: tStretch}, K: k, PortalRefresh: refresh})
+		if err != nil {
+			t.Fatalf("trial %d (seed %d): %v", trial, seed, err)
+		}
+
+		// Random mutation chain, with an export (and differential pass)
+		// after every few ops so mid-update table states are exercised.
+		ops := rng.Intn(12)
+		for op := 0; op < ops; op++ {
+			mutate(t, g, rng, side)
+			if rng.Intn(3) > 0 {
+				continue
+			}
+			g.ExportFrozen()
+			if v := g.View(); !v.TableFresh {
+				staleDeclines += assertStaleDeclines(t, g, rng, trial, seed)
+			}
+		}
+		_, alive, base, sp := g.ExportFrozen()
+		v := g.View()
+		if refresh == 1 && !v.TableFresh {
+			t.Fatalf("trial %d (seed %d): PortalRefresh=1 view published a stale table", trial, seed)
+		}
+
+		ids := liveIDs(g)
+		if len(ids) < 2 {
+			g.Close()
+			continue
+		}
+		sc := NewScratch()
+		gs := graph.NewSearcher(sp.N())
+		pairs := 12 + rng.Intn(12)
+		for q := 0; q < pairs; q++ {
+			src := ids[rng.Intn(len(ids))]
+			dst := ids[rng.Intn(len(ids))]
+			path, cost, baseDist, delivered, ok := v.Route(sc, gs, src, dst)
+			if !ok {
+				if v.TableFresh {
+					t.Fatalf("trial %d (seed %d): fresh view declined route %d->%d", trial, seed, src, dst)
+				}
+				staleDeclines++
+				continue
+			}
+			answered++
+
+			// Global reference on the identical combined snapshot.
+			refPath, refCost, refOK := gs.AppendPathTo(nil, sp, src, dst, graph.Inf)
+			if delivered != refOK {
+				t.Fatalf("trial %d (seed %d) %d->%d: delivered = %v, global search says %v", trial, seed, src, dst, delivered, refOK)
+			}
+			if !delivered {
+				if len(path) != 1 || path[0] != src {
+					t.Fatalf("trial %d (seed %d) %d->%d: undelivered path = %v, want [%d]", trial, seed, src, dst, path, src)
+				}
+				continue
+			}
+			if !relClose(cost, refCost) {
+				t.Fatalf("trial %d (seed %d) %d->%d: stitched cost %v, global %v", trial, seed, src, dst, cost, refCost)
+			}
+			// Path integrity: endpoints, edge existence, weight sum.
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("trial %d (seed %d) %d->%d: path endpoints %v", trial, seed, src, dst, path)
+			}
+			if w, okw := graph.PathWeight(sp, path); !okw || !relClose(w, cost) {
+				t.Fatalf("trial %d (seed %d) %d->%d: path weight %v (valid=%v) vs cost %v, path %v",
+					trial, seed, src, dst, w, okw, cost, path)
+			}
+			for _, u := range path {
+				if u < 0 || u >= len(alive) || !alive[u] {
+					t.Fatalf("trial %d (seed %d) %d->%d: path visits dead vertex %d", trial, seed, src, dst, u)
+				}
+			}
+			// Stretch denominator: stitched base distance vs global base
+			// search (src == dst pairs report 0 on both sides).
+			refBase, refBOK := gs.DijkstraTarget(base, src, dst, graph.Inf)
+			if src == dst {
+				refBase, refBOK = 0, true
+			}
+			if !refBOK {
+				t.Fatalf("trial %d (seed %d) %d->%d: spanner-delivered pair base-unreachable", trial, seed, src, dst)
+			}
+			if !relClose(baseDist, refBase) {
+				t.Fatalf("trial %d (seed %d) %d->%d: stitched base %v, global %v", trial, seed, src, dst, baseDist, refBase)
+			}
+			if d, dok := v.Distance(sc, src, dst); !dok || !relClose(d, cost) {
+				t.Fatalf("trial %d (seed %d) %d->%d: Distance %v (ok=%v) vs cost %v", trial, seed, src, dst, d, dok, cost)
+			}
+			_ = refPath
+		}
+		g.Close()
+	}
+	if answered == 0 {
+		t.Fatal("fuzz answered no routes")
+	}
+	t.Logf("%d trials: %d routes answered, %d stale declines", trials, answered, staleDeclines)
+}
+
+// assertStaleDeclines verifies a stale view refuses to answer (the
+// service falls back to the global search; a stale table must never
+// produce a value). Returns the decline count.
+func assertStaleDeclines(t *testing.T, g *Group, rng *rand.Rand, trial int, seed int64) int {
+	t.Helper()
+	ids := liveIDs(g)
+	if len(ids) < 2 {
+		return 0
+	}
+	v := g.View()
+	sc := NewScratch()
+	gs := graph.NewSearcher(v.Spanner.N())
+	src, dst := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+	if _, _, _, _, ok := v.Route(sc, gs, src, dst); ok {
+		t.Fatalf("trial %d (seed %d): stale view answered a route", trial, seed)
+	}
+	if _, ok := v.Distance(sc, src, dst); ok {
+		t.Fatalf("trial %d (seed %d): stale view answered a distance", trial, seed)
+	}
+	return 1
+}

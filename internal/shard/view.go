@@ -1,0 +1,254 @@
+package shard
+
+import (
+	"math"
+
+	"topoctl/internal/graph"
+)
+
+// ShardView is one shard's slice of a combined export: its engine's
+// frozen graphs (local slot ids), the local→global binding, and the
+// shard's churn watermark.
+type ShardView struct {
+	// Base and Spanner are the shard's frozen exports over local ids.
+	Base, Spanner *graph.Frozen
+	// Glob maps local slot → global id (-1 free).
+	Glob []int
+	// Live is the shard's live node count.
+	Live int
+	// LastChanged is the group export sequence that last re-froze any of
+	// this shard's rows (the per-shard "last swap epoch" in /stats).
+	LastChanged uint64
+}
+
+// View is the sharded face of one combined export: everything a reader
+// needs to answer a shortest-path query with per-shard work only —
+// local frozen graphs, the global→local binding, and the portal
+// distance tables. Immutable; a concurrent commit publishes a successor
+// view and can never alter this one.
+type View struct {
+	// Epoch is the group's export sequence number.
+	Epoch uint64
+	// Part routes points (and therefore mutations/queries) to shards.
+	Part *Partition
+	// Loc maps global id → (shard, local); Shard < 0 marks free slots.
+	Loc []Loc
+	// Shards holds the per-shard slices, indexed by shard id.
+	Shards []ShardView
+	// Base and Spanner are the combined frozen graphs over global ids —
+	// what unsharded consumers (stats, analyze, labels, WAL) see.
+	Base, Spanner *graph.Frozen
+	// Table is the inter-portal distance closure; TableFresh reports
+	// whether it matches this export. A stale table (PortalRefresh > 1,
+	// mid-update) is never consulted — Route declines and the caller
+	// falls back to the global combined search.
+	Table      *PortalTable
+	TableFresh bool
+	// MaxLocalN is the largest per-shard slot space, a sizing hint for
+	// Scratch.
+	MaxLocalN int
+}
+
+// Scratch is the reusable per-query workspace of the portal-stitched
+// route path: one searcher plus distance arrays sized to the local
+// shards. Not safe for concurrent use; pool instances per shard.
+type Scratch struct {
+	S *graph.Searcher
+
+	du, dv   []float64 // spanner distances from src / dst inside their shards
+	dbu, dbv []float64 // base-graph counterparts
+	p1, p2   []int     // local path buffers (src side, dst side)
+	pm       []int     // global middle-path buffer
+}
+
+// NewScratch returns an empty workspace; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{S: graph.NewSearcher(0)} }
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// withMargin pads an exact stitched bound for the bounded path
+// reconstruction: the bidirectional kernel may associate its partial
+// sums differently than the unidirectional sweep that produced d, so an
+// exact bound could reject the optimal meeting by one ulp.
+func withMargin(d float64) float64 {
+	return d + 1e-9*d + 1e-12
+}
+
+// Route answers one exact shortest-path query over global ids by portal
+// stitching: a full local Dijkstra inside the two endpoint shards (four
+// of them — spanner and base each side), a min over portal pairs
+// through the precomputed tables, and a bounded reconstruction of the
+// three path legs. cost is the served route cost, baseDist the
+// base-graph distance (the stretch denominator; 0 when undelivered).
+//
+// ok reports whether the view answered: false when the portal table is
+// stale — or on the (theoretically impossible, defensively handled)
+// failure of a bounded reconstruction — in which case the caller must
+// fall back to the global search over the combined snapshot. Both
+// endpoints must be live; the caller validates. gs is a searcher sized
+// for the combined graph (the middle leg runs on it).
+func (v *View) Route(sc *Scratch, gs *graph.Searcher, src, dst int) (path []int, cost, baseDist float64, delivered, ok bool) {
+	if v.Table == nil || !v.TableFresh {
+		return nil, 0, 0, false, false
+	}
+	if src == dst {
+		return []int{src}, 0, 0, true, true
+	}
+	la, lb := v.Loc[src], v.Loc[dst]
+	a, b := int(la.Shard), int(lb.Shard)
+	sva, svb := &v.Shards[a], &v.Shards[b]
+
+	na, nb := sva.Spanner.N(), svb.Spanner.N()
+	sc.du = growF(sc.du, na)
+	sc.dv = growF(sc.dv, nb)
+	sc.S.Dijkstra(sva.Spanner, int(la.Local), graph.Inf, sc.du)
+	sc.S.Dijkstra(svb.Spanner, int(lb.Local), graph.Inf, sc.dv)
+
+	pa, pb := v.Table.ByShard[a], v.Table.ByShard[b]
+	p := v.Table.P
+	best := math.Inf(1)
+	var bi, bj Portal
+	for _, pi := range pa {
+		d1 := sc.du[pi.Local]
+		if d1 >= best {
+			continue
+		}
+		row := v.Table.D[int(pi.Row)*p : (int(pi.Row)+1)*p]
+		for _, pj := range pb {
+			if c := d1 + row[pj.Row] + sc.dv[pj.Local]; c < best {
+				best = c
+				bi, bj = pi, pj
+			}
+		}
+	}
+	direct := math.Inf(1)
+	if a == b {
+		direct = sc.du[lb.Local]
+	}
+
+	switch {
+	case a == b && direct <= best:
+		if math.IsInf(direct, 1) {
+			return []int{src}, 0, 0, false, true
+		}
+		lp, _, okp := sc.S.AppendPathTo(sc.p1[:0], sva.Spanner, int(la.Local), int(lb.Local), withMargin(direct))
+		sc.p1 = lp[:0]
+		if !okp {
+			return nil, 0, 0, false, false
+		}
+		path = make([]int, len(lp))
+		for i, l := range lp {
+			path[i] = sva.Glob[l]
+		}
+		cost = direct
+	case math.IsInf(best, 1):
+		// No portal pair connects the shards (and no direct local path
+		// for same-shard pairs): exactly the unreachable case.
+		return []int{src}, 0, 0, false, true
+	default:
+		lp1, _, ok1 := sc.S.AppendPathTo(sc.p1[:0], sva.Spanner, int(la.Local), int(bi.Local), withMargin(sc.du[bi.Local]))
+		sc.p1 = lp1[:0]
+		var mid []int
+		okm := true
+		if bi.Global != bj.Global {
+			d := v.Table.D[int(bi.Row)*p+int(bj.Row)]
+			mid, _, okm = gs.AppendPathTo(sc.pm[:0], v.Spanner, bi.Global, bj.Global, withMargin(d))
+			sc.pm = mid[:0]
+		}
+		lp2, _, ok2 := sc.S.AppendPathTo(sc.p2[:0], svb.Spanner, int(lb.Local), int(bj.Local), withMargin(sc.dv[bj.Local]))
+		sc.p2 = lp2[:0]
+		if !ok1 || !okm || !ok2 {
+			return nil, 0, 0, false, false
+		}
+		// Stitch src→p (local A), p→q (global), q→dst (local B,
+		// reversed), dropping the duplicated junction vertices. The
+		// result is a valid walk on the combined spanner; it may revisit
+		// a vertex where legs overlap, which routing tolerates (Cost and
+		// Hops count traversed edges).
+		total := len(lp1) + len(lp2) - 1
+		if len(mid) > 0 {
+			total += len(mid) - 1
+		}
+		path = make([]int, 0, total)
+		for _, l := range lp1 {
+			path = append(path, sva.Glob[l])
+		}
+		if len(mid) > 1 {
+			path = append(path, mid[1:]...)
+		}
+		for i := len(lp2) - 2; i >= 0; i-- {
+			path = append(path, svb.Glob[lp2[i]])
+		}
+		cost = best
+	}
+	delivered, ok = true, true
+
+	// Stretch denominator: the same stitched minimum over the base
+	// tables. Exact for the same reason the spanner side is.
+	sc.dbu = growF(sc.dbu, sva.Base.N())
+	sc.dbv = growF(sc.dbv, svb.Base.N())
+	sc.S.Dijkstra(sva.Base, int(la.Local), graph.Inf, sc.dbu)
+	sc.S.Dijkstra(svb.Base, int(lb.Local), graph.Inf, sc.dbv)
+	baseDist = math.Inf(1)
+	if a == b {
+		baseDist = sc.dbu[lb.Local]
+	}
+	for _, pi := range pa {
+		d1 := sc.dbu[pi.Local]
+		if d1 >= baseDist {
+			continue
+		}
+		row := v.Table.DBase[int(pi.Row)*p : (int(pi.Row)+1)*p]
+		for _, pj := range pb {
+			if c := d1 + row[pj.Row] + sc.dbv[pj.Local]; c < baseDist {
+				baseDist = c
+			}
+		}
+	}
+	if math.IsInf(baseDist, 1) {
+		baseDist = 0 // spanner-delivered but base-disconnected cannot happen; defensive
+	}
+	return path, cost, baseDist, delivered, ok
+}
+
+// Distance answers one exact spanner distance (Inf when unreachable)
+// with per-shard work only, by the same stitched minimum Route uses —
+// without path reconstruction. ok is false when the table is stale.
+func (v *View) Distance(sc *Scratch, src, dst int) (float64, bool) {
+	if v.Table == nil || !v.TableFresh {
+		return 0, false
+	}
+	if src == dst {
+		return 0, true
+	}
+	la, lb := v.Loc[src], v.Loc[dst]
+	a, b := int(la.Shard), int(lb.Shard)
+	sva, svb := &v.Shards[a], &v.Shards[b]
+	sc.du = growF(sc.du, sva.Spanner.N())
+	sc.dv = growF(sc.dv, svb.Spanner.N())
+	sc.S.Dijkstra(sva.Spanner, int(la.Local), graph.Inf, sc.du)
+	sc.S.Dijkstra(svb.Spanner, int(lb.Local), graph.Inf, sc.dv)
+	best := math.Inf(1)
+	if a == b {
+		best = sc.du[lb.Local]
+	}
+	p := v.Table.P
+	for _, pi := range v.Table.ByShard[a] {
+		d1 := sc.du[pi.Local]
+		if d1 >= best {
+			continue
+		}
+		row := v.Table.D[int(pi.Row)*p : (int(pi.Row)+1)*p]
+		for _, pj := range v.Table.ByShard[b] {
+			if c := d1 + row[pj.Row] + sc.dv[pj.Local]; c < best {
+				best = c
+			}
+		}
+	}
+	return best, true
+}
