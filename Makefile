@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build check vet fmt test race fuzz-short cover bench bench-json bench-save bench-compare serve-smoke recover-smoke ci
+.PHONY: all build check vet fmt test race fuzz-short cover bench bench-json bench-save bench-compare serve-smoke recover-smoke build-large-smoke ci
 
 all: check
 
@@ -179,4 +179,12 @@ recover-smoke:
 	fi; \
 	echo "recover-smoke OK (epoch $$ver survived kill -9)"
 
-ci: check race bench serve-smoke recover-smoke
+# Large-build smoke: the million-vertex machinery at a size CI can afford
+# (n=131072: parallel frozen-CSR build, dynamic bulk load, SEQ-GREEDY
+# spanner, sampled stretch verification) under a hard time budget. The
+# test is opt-in via BUILD_LARGE so the tier-1 `go test ./...` run never
+# pays for it.
+build-large-smoke:
+	BUILD_LARGE=1 $(GO) test -run '^TestBuildLargeSmoke$$' -v -timeout 300s .
+
+ci: check race bench serve-smoke recover-smoke build-large-smoke

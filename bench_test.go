@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"topoctl/internal/baseline"
@@ -493,4 +494,58 @@ func BenchmarkFaultTolerantBuild(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBuildLarge measures the million-vertex build path: the parallel
+// slab-backed frozen-CSR α-UBG construction at constant density (expected
+// base degree ~8). It reports bytes per vertex of the finished snapshot —
+// the figure that decides whether n=10^6 fits commodity memory — alongside
+// allocs/op, which must stay sublinear in the edge count (the point of the
+// two-pass pre-sized build). The engine arm adds the dynamic bulk load on
+// top: frozen build + thaw + SEQ-GREEDY spanner.
+func BenchmarkBuildLarge(b *testing.B) {
+	// The million-vertex arm is opt-in (BUILD_LARGE=1, same gate as the
+	// build-large smoke test) so routine bench runs stay fast; run it with
+	// -benchtime=1x unless you want several multi-second samples.
+	sizes := []int{65536, 262144}
+	if os.Getenv("BUILD_LARGE") != "" {
+		sizes = append(sizes, 1<<20)
+	}
+	for _, n := range sizes {
+		pts := geom.GeneratePoints(geom.CloudConfig{
+			Kind: geom.CloudUniform, N: n, Dim: 2, Side: ubg.DensitySide(n, 2, 1, 8), Seed: 1,
+		})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var f *graph.Frozen
+			for i := 0; i < b.N; i++ {
+				var err error
+				f, err = ubg.BuildFrozen(pts, ubg.Config{Alpha: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// CSR footprint: 16 bytes per halfedge (two per edge) plus an
+			// 8-byte row span per vertex.
+			bytes := 16*2*int64(f.M()) + 8*int64(f.N())
+			b.ReportMetric(float64(bytes)/float64(n), "B/vtx")
+			b.ReportMetric(float64(f.M())/float64(n), "edges/vtx")
+		})
+	}
+	b.Run("engine/n=65536", func(b *testing.B) {
+		n := 65536
+		pts := geom.GeneratePoints(geom.CloudConfig{
+			Kind: geom.CloudUniform, N: n, Dim: 2, Side: ubg.DensitySide(n, 2, 1, 8), Seed: 1,
+		})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := dynamic.New(pts, dynamic.Options{T: 1.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if eng.Base().M() == 0 {
+				b.Fatal("empty base graph")
+			}
+		}
+	})
 }

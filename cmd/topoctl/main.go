@@ -59,7 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: topoctl <gen|build|sweep|viz> [flags]
-  gen    -n N -d D -alpha A -seed S [-o FILE]       generate an instance (netio text format)
+  gen    -n N -d D -alpha A -seed S [-deg DEG] [-o FILE]  generate an instance (netio text format)
   build  [-in FILE | -n N] -eps E -algo KIND [-v]   build one topology and report quality
          KIND: relaxed | dist | mst | yao | gabriel | rng | xtc | lmst | seq-greedy
   sweep  -n N -alpha A [-eps E]                     compare every topology on one instance
@@ -69,6 +69,7 @@ func usage() {
 type genFlags struct {
 	n, d  int
 	alpha float64
+	deg   float64
 	seed  int64
 	in    string
 }
@@ -78,6 +79,7 @@ func addGenFlags(fs *flag.FlagSet) *genFlags {
 	fs.IntVar(&gf.n, "n", 200, "node count")
 	fs.IntVar(&gf.d, "d", 2, "dimension")
 	fs.Float64Var(&gf.alpha, "alpha", 0.75, "alpha in (0, 1]")
+	fs.Float64Var(&gf.deg, "deg", 0, "target expected base degree; keeps edge count linear at large -n (0 = default 8)")
 	fs.Int64Var(&gf.seed, "seed", 1, "instance seed")
 	fs.StringVar(&gf.in, "in", "", "read the instance from this file instead of generating")
 	return gf
@@ -88,7 +90,7 @@ func addGenFlags(fs *flag.FlagSet) *genFlags {
 func (gf *genFlags) network() (*topoctl.Network, error) {
 	if gf.in == "" {
 		return topoctl.RandomNetwork(topoctl.NetworkSpec{
-			N: gf.n, Dim: gf.d, Alpha: gf.alpha, Seed: gf.seed,
+			N: gf.n, Dim: gf.d, Alpha: gf.alpha, Seed: gf.seed, Deg: gf.deg,
 		})
 	}
 	inst, err := netio.ReadFrom(gf.in) // .gz transparently decompressed

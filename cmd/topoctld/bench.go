@@ -41,8 +41,12 @@ func cmdBench(args []string) error {
 	fs.StringVar(&bf.scheme, "scheme", "shortest-path", "forwarding scheme to request")
 	fs.IntVar(&bf.mutate, "mutate", 0, "background churn rate in ops/sec through /mutate (0 = read-only)")
 	fs.IntVar(&bf.mutBatch, "mutate-batch", 4, "ops per background mutation batch")
+	pprofAddr := fs.String("pprof", "", "pprof side-listener address for the in-process daemon (-self); empty disables profiling")
 	sf := addServeFlags(fs) // -n, -t, ... honored with -self
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startPprof(*pprofAddr); err != nil {
 		return err
 	}
 	if _, err := service.ParseScheme(bf.scheme); err != nil {
@@ -86,6 +90,16 @@ type benchStats struct {
 	CacheEvictions uint64               `json:"cache_evictions"`
 	ShardCount     int                  `json:"shard_count"`
 	Shards         []service.ShardStats `json:"shards"`
+
+	// Stretch fields of the post-window snapshot, for the summary line
+	// (computing the estimate is the server's first /stats touch on that
+	// snapshot; at a million edges it is sampled, never exact).
+	StretchBound          float64 `json:"stretch_bound"`
+	StretchEstimate       float64 `json:"stretch_estimate"`
+	StretchExact          bool    `json:"stretch_exact"`
+	StretchSampled        int     `json:"stretch_sampled"`
+	StretchViolationBound float64 `json:"stretch_violation_bound"`
+	StretchConfidence     float64 `json:"stretch_confidence"`
 }
 
 func runBench(bf *benchFlags, base string) error {
@@ -228,6 +242,17 @@ func runBench(bf *benchFlags, base string) error {
 		rejected.Load(), failures.Load())
 	var end benchStats
 	if err := getStats(client, base, &end); err == nil {
+		switch {
+		case end.StretchEstimate < 0:
+			fmt.Printf("stretch   disconnected spanner observed (bound t=%.3g)\n", end.StretchBound)
+		case end.StretchExact:
+			fmt.Printf("stretch   %.4f exact over all base edges (bound t=%.3g)\n",
+				end.StretchEstimate, end.StretchBound)
+		default:
+			fmt.Printf("stretch   %.4f sampled over %d edges (bound t=%.3g; ≤%.2f%% of edges may exceed, %.0f%% confidence)\n",
+				end.StretchEstimate, end.StretchSampled, end.StretchBound,
+				100*end.StretchViolationBound, 100*end.StretchConfidence)
+		}
 		hits, misses := end.CacheHits-st.CacheHits, end.CacheMisses-st.CacheMisses
 		ratio := 0.0
 		if hits+misses > 0 {

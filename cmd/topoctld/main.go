@@ -34,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling side listener, see startPprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -80,6 +81,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: topoctld <serve|follow|bench> [flags]
   serve   [-addr :7077] [-in FILE(.gz) | -n N -d D -deg DEG -seed S] [-t T] [-radius R] [-cache C]
           [-shards K] [-portal-refresh N] [-wal DIR] [-fsync always|interval|never] [-checkpoint-every N]
+          [-pprof ADDR]
           start the daemon; without -in a uniform deployment of N nodes is generated.
           With -shards K the deployment is split into K grid-aligned regions, each with
           its own engine, snapshot, and route cache; cross-region routes stitch through
@@ -93,20 +95,43 @@ func usage() {
           drive a daemon with C concurrent zipfian clients and report QPS + latency percentiles`)
 }
 
+// startPprof starts the net/http/pprof side listener when addr is
+// non-empty. Profiles are served from http.DefaultServeMux (where the
+// pprof import registers) on a dedicated port, so the main API handler —
+// an explicit mux — never exposes them. The listener runs for the process
+// lifetime; profiling a shutting-down daemon is not supported.
+func startPprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("pprof listener: %v", err)
+		}
+	}()
+	return nil
+}
+
 // serveFlags configures the daemon core (shared by serve and bench -self;
 // the listen address is a serve-only flag, bench has its own -addr).
 type serveFlags struct {
-	in      string
-	n, d    int
-	deg     float64
-	seed    int64
-	t       float64
-	radius  float64
-	cache   int
-	sample  int
-	labels  bool
-	shards  int
-	refresh int
+	in        string
+	n, d      int
+	deg       float64
+	seed      int64
+	t         float64
+	radius    float64
+	cache     int
+	sample    int
+	labels    bool
+	labelsMax int
+	shards    int
+	refresh   int
 }
 
 func addServeFlags(fs *flag.FlagSet) *serveFlags {
@@ -121,6 +146,7 @@ func addServeFlags(fs *flag.FlagSet) *serveFlags {
 	fs.IntVar(&sf.cache, "cache", 8192, "route cache capacity per snapshot")
 	fs.IntVar(&sf.sample, "stretch-sample", 256, "base-edge sample size for the /stats stretch estimate")
 	fs.BoolVar(&sf.labels, "labels", true, "maintain the hub-label distance oracle (exact /distance answers without a search)")
+	fs.IntVar(&sf.labelsMax, "labels-max", 0, "largest deployment the oracle is built for (label builds grow ~quadratically; 0 = library default, negative = no cap)")
 	fs.IntVar(&sf.shards, "shards", 1, "spatial shard count: >1 runs one engine+snapshot+cache per grid-aligned region, stitching cross-shard routes through portal vertices")
 	fs.IntVar(&sf.refresh, "portal-refresh", 1, "rebuild the inter-portal distance table every Nth publish (sharded mode; in between, cross-shard routes fall back to the global search)")
 	return sf
@@ -160,6 +186,7 @@ func (sf *serveFlags) newService() (*service.Service, error) {
 		StretchSample: sf.sample,
 		Seed:          sf.seed,
 		Labels:        sf.labels,
+		LabelsMaxN:    sf.labelsMax,
 		Shards:        sf.shards,
 		PortalRefresh: sf.refresh,
 	})
@@ -218,7 +245,7 @@ func buildLeader(sf *serveFlags, wf *walFlags) (*service.Service, *replica.Leade
 	opts := service.Options{
 		T: sf.t, Radius: sf.radius, Dim: sf.d,
 		CacheSize: sf.cache, StretchSample: sf.sample, Seed: sf.seed,
-		Labels: sf.labels, Shards: sf.shards, PortalRefresh: sf.refresh,
+		Labels: sf.labels, LabelsMaxN: sf.labelsMax, Shards: sf.shards, PortalRefresh: sf.refresh,
 		OnPublish: func(snap *service.Snapshot, applied []service.Op, touched []int) {
 			ld.OnPublish(snap, applied, touched)
 		},
@@ -314,9 +341,13 @@ func buildLeader(sf *serveFlags, wf *walFlags) (*service.Service, *replica.Leade
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7077", "listen address")
+	pprofAddr := fs.String("pprof", "", "pprof side-listener address (e.g. 127.0.0.1:6060); empty disables profiling")
 	sf := addServeFlags(fs)
 	wf := addWalFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := startPprof(*pprofAddr); err != nil {
 		return err
 	}
 	svc, ld, handler, err := buildLeader(sf, wf)
@@ -341,6 +372,9 @@ func cmdServe(args []string) error {
 	st := svc.Stats()
 	log.Printf("serving on %s: %d nodes, %d base links, %d spanner links (t=%.3g, max degree %d)",
 		ln.Addr(), st.Nodes, st.BaseEdges, st.SpannerEdges, st.StretchBound, st.MaxDegree)
+	if sf.labels && !st.LabelsEnabled {
+		log.Printf("hub-label oracle skipped: %d nodes exceed the build cap (label builds grow ~quadratically; raise with -labels-max, silence with -labels=false)", st.Nodes)
+	}
 
 	srv := newHTTPServer(handler)
 	errc := make(chan error, 1)
@@ -370,11 +404,15 @@ func cmdFollow(args []string) error {
 	leader := fs.String("leader", "", "leader base URL (required), e.g. http://127.0.0.1:7077")
 	cache := fs.Int("cache", 8192, "route cache capacity per snapshot")
 	sample := fs.Int("stretch-sample", 256, "base-edge sample size for the /stats stretch estimate")
+	pprofAddr := fs.String("pprof", "", "pprof side-listener address (e.g. 127.0.0.1:6060); empty disables profiling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *leader == "" {
 		return fmt.Errorf("follow: -leader is required")
+	}
+	if err := startPprof(*pprofAddr); err != nil {
+		return err
 	}
 	fol := service.NewFollower(service.Options{CacheSize: *cache, StretchSample: *sample})
 	defer fol.Close()

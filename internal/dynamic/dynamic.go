@@ -46,6 +46,7 @@ import (
 	"topoctl/internal/geom"
 	"topoctl/internal/graph"
 	"topoctl/internal/greedy"
+	"topoctl/internal/ubg"
 )
 
 // Options configures an Engine.
@@ -167,7 +168,7 @@ func New(points []geom.Point, opts Options) (*Engine, error) {
 		alive:   make([]bool, cap),
 		grid:    geom.NewDynamicGrid(opts.Radius),
 		base:    graph.New(cap),
-		sp:      graph.New(cap),
+		sp:      graph.NewWithDegree(cap, 8),
 		s:       graph.NewSearcher(cap),
 		dirty:   make(map[int]struct{}),
 		touched: make(map[int]struct{}),
@@ -185,17 +186,40 @@ func New(points []geom.Point, opts Options) (*Engine, error) {
 		e.grid.Add(id, e.points[id])
 		e.n++
 	}
-	for id := range points {
-		e.addBaseEdges(id)
+	if len(points) >= bulkBuildThreshold {
+		// Bulk load: build the base ball graph grid-cell-parallel straight
+		// into a frozen CSR slab and thaw it (O(1) allocations), instead of
+		// replaying len(points) sequential grid insert + edge-scan steps on
+		// the mutable graph. The deterministic per-pair acceptance makes the
+		// result identical to the incremental path's edge set. Nothing is
+		// marked touched: expBase is still nil, so the first ExportFrozen
+		// full-freezes regardless.
+		f, err := ubg.BuildRadius(e.points[:len(points)], e.opts.Radius)
+		if err != nil {
+			return nil, err
+		}
+		base := f.Thaw()
+		base.Grow(cap)
+		e.base = base
+	} else {
+		for id := range points {
+			e.addBaseEdges(id)
+		}
 	}
 	es := e.base.EdgesUnordered()
 	for i := range es {
 		es[i].W = e.opts.Metric.Weight(es[i].W)
 	}
 	greedy.SortEdges(es)
-	greedy.Run(e.sp, es, e.opts.T)
+	greedy.RunCount(e.sp, es, e.opts.T)
 	return e, nil
 }
+
+// bulkBuildThreshold is the initial-size cutoff above which New builds the
+// base graph through the parallel frozen-CSR path rather than per-point
+// incremental insertion. Below it the incremental path is already cheap
+// and its allocation pattern irrelevant.
+const bulkBuildThreshold = 2048
 
 // addBaseEdges links id to every live node within Radius (skipping edges
 // already present, so batch replays are idempotent).

@@ -288,12 +288,23 @@ func (f *Frozen) MaxDegree() int { return f.maxDeg }
 func (f *Frozen) TotalWeight() float64 { return f.weight }
 
 // Thaw returns a mutable deep copy of f — the inverse of Freeze, for
-// callers that need to edit a served topology offline.
+// callers that need to edit a served topology offline. The copy's rows are
+// packed into one shared slab (capacity clamped per row, so a later
+// AddEdge reallocates just the row it grows): thawing costs O(1)
+// allocations regardless of graph size, which keeps it viable as the
+// bridge from the parallel CSR build path to the mutable engines.
 func (f *Frozen) Thaw() *Graph {
 	g := New(len(f.rows))
 	g.m = f.m
+	var live int64
+	for _, r := range f.rows {
+		live += int64(r.deg)
+	}
+	slab := make([]Halfedge, 0, live)
 	for u := range f.rows {
-		g.adj[u] = append([]Halfedge(nil), f.row(u)...)
+		lo := int64(len(slab))
+		slab = append(slab, f.row(u)...)
+		g.adj[u] = slab[lo:len(slab):len(slab)]
 	}
 	return g
 }

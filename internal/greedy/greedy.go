@@ -41,6 +41,23 @@ func Run(sp *graph.Graph, edges []graph.Edge, t float64) []graph.Edge {
 	return added
 }
 
+// RunCount is Run for callers that only need how many edges were added:
+// it never accumulates the added slice, so a full SEQ-GREEDY pass performs
+// zero allocations beyond what AddEdge needs for row growth.
+func RunCount(sp *graph.Graph, edges []graph.Edge, t float64) int {
+	s := graph.AcquireSearcher(sp.N())
+	defer graph.ReleaseSearcher(s)
+	added := 0
+	for _, e := range edges {
+		if !Accept(s, sp, e, t) {
+			continue
+		}
+		sp.AddEdge(e.U, e.V, e.W)
+		added++
+	}
+	return added
+}
+
 // Accept is the greedy edge-acceptance rule in isolation: edge e belongs in
 // spanner sp iff sp neither contains it nor t-spans it (no path between its
 // endpoints of length at most t·w(e)). Accept does not modify sp; callers
@@ -63,8 +80,12 @@ func Accept(s *graph.Searcher, sp *graph.Graph, e graph.Edge, t float64) bool {
 // resulting spanner as a new graph on the same vertex set. g only needs to
 // be readable; the spanner itself is always built as a mutable graph.
 func Spanner(g graph.Topology, t float64) *graph.Graph {
-	sp := graph.New(g.N())
-	Run(sp, graph.SortedEdges(g), t)
+	// Greedy spanners of the metrics this repository builds on have O(1)
+	// maximum degree; pre-reserving a few halfedges per row in one shared
+	// slab removes the per-row append growth that otherwise dominates the
+	// build's allocation count.
+	sp := graph.NewWithDegree(g.N(), 8)
+	RunCount(sp, graph.SortedEdges(g), t)
 	return sp
 }
 

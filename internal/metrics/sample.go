@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sort"
+
+	"topoctl/internal/graph"
+)
+
+// StretchSample is the result of a sampled stretch verification: the worst
+// observed per-edge stretch over a uniform random subset of base edges,
+// with the guarantee its size buys spelled out.
+//
+// The estimate is one-sided: it never exceeds the true stretch, and the
+// standard coupon argument bounds how much of the edge population can hide
+// above it. If k edges are drawn uniformly (with replacement) and F is the
+// fraction of all edges whose stretch exceeds the sampled maximum, then
+// the probability all k samples missed that set is (1-F)^k ≤ e^{-Fk}, so
+// with confidence 1−δ at most F = ln(1/δ)/k of the base edges exceed
+// Estimate. ViolationFraction reports that F for δ = 1−Confidence.
+type StretchSample struct {
+	// Estimate is the maximum stretch observed over the sampled edges
+	// (exactly the stretch when Exact).
+	Estimate float64
+	// Exact is true when every base edge was evaluated — the sample budget
+	// covered the edge set, so Estimate is the true stretch.
+	Exact bool
+	// Sampled is the number of edge evaluations performed.
+	Sampled int
+	// Edges is the base edge population size.
+	Edges int
+	// Confidence is the guarantee level 1−δ of ViolationFraction.
+	Confidence float64
+	// ViolationFraction bounds, with probability Confidence, the fraction
+	// of base edges whose stretch may exceed Estimate. Zero when Exact.
+	ViolationFraction float64
+	// Disconnected is true when a sampled edge had no spanner path at all
+	// (Estimate is +Inf).
+	Disconnected bool
+}
+
+// sampleConfidence is the guarantee level reported by StretchSampled.
+const sampleConfidence = 0.99
+
+// StretchSampled estimates the stretch of sp relative to g from at most k
+// uniformly sampled base edges. When k covers the edge set it degrades to
+// the exact computation (same answer as Stretch); otherwise it draws k
+// distinct edges with a seeded partial Fisher–Yates over edge ranks —
+// O(k) memory, no materialized edge list — and evaluates only those. The
+// result is deterministic for a fixed (g, sp, k, seed).
+func StretchSampled(g, sp graph.Topology, k int, seed int64) StretchSample {
+	return StretchSampledParallel(g, sp, k, seed, runtime.GOMAXPROCS(0))
+}
+
+// StretchSampledParallel is StretchSampled with an explicit worker count
+// (<= 1 runs sequentially). The sample set depends only on (g, k, seed);
+// workers only affect evaluation scheduling, and max is order-independent,
+// so the result is identical for any worker count.
+func StretchSampledParallel(g, sp graph.Topology, k int, seed int64, workers int) StretchSample {
+	m := g.M()
+	out := StretchSample{Sampled: k, Edges: m, Confidence: sampleConfidence}
+	eval := func(s *graph.Searcher, e graph.Edge) float64 {
+		if sp.HasEdge(e.U, e.V) {
+			return 1
+		}
+		return edgeStretch(s, sp, e.U, e.V, e.W)
+	}
+	if k <= 0 || k >= m {
+		// Budget covers the population: exact.
+		out.Exact = true
+		out.Sampled = m
+		out.Estimate = worstOverEdges(g.EdgesUnordered(), workers, eval)
+		out.Disconnected = math.IsInf(out.Estimate, 1)
+		return out
+	}
+	edges := sampleEdges(g, k, seed)
+	out.Estimate = worstOverEdges(edges, workers, eval)
+	out.ViolationFraction = math.Log(1/(1-sampleConfidence)) / float64(k)
+	out.Disconnected = math.IsInf(out.Estimate, 1)
+	return out
+}
+
+// sampleEdges draws k distinct edges of g uniformly at random, determined
+// entirely by (g, k, seed). Edge ranks are the canonical row order a
+// Frozen or Graph enumerates (u < h.To), so the draw needs no materialized
+// edge list: a partial Fisher–Yates over [0, m) with a sparse overlay map
+// picks k ranks in O(k) space, and one adjacency walk collects exactly the
+// selected edges.
+func sampleEdges(g graph.Topology, k int, seed int64) []graph.Edge {
+	m := g.M()
+	rng := newSplitMix(uint64(seed))
+	// Partial Fisher–Yates: swap a random survivor into position i; the
+	// overlay records displaced values only for the O(k) touched slots.
+	overlay := make(map[int]int, 2*k)
+	at := func(i int) int {
+		if v, ok := overlay[i]; ok {
+			return v
+		}
+		return i
+	}
+	ranks := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + int(rng.next()%uint64(m-i))
+		ranks[i] = at(j)
+		overlay[j] = at(i)
+	}
+	sort.Ints(ranks)
+
+	edges := make([]graph.Edge, 0, k)
+	rank, next := 0, 0
+	n := g.N()
+	for u := 0; u < n && next < k; u++ {
+		for _, h := range g.Neighbors(u) {
+			if u >= h.To {
+				continue
+			}
+			if rank == ranks[next] {
+				edges = append(edges, graph.Edge{U: u, V: h.To, W: h.W})
+				next++
+				if next == k {
+					break
+				}
+			}
+			rank++
+		}
+	}
+	return edges
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"topoctl/internal/geom"
+	"topoctl/internal/graph"
+	"topoctl/internal/greedy"
+	"topoctl/internal/ubg"
+)
+
+// sampleInstance builds a fuzzed α-UBG plus its greedy spanner.
+func sampleInstance(t testing.TB, n int, seed int64) (base, sp *graph.Graph) {
+	t.Helper()
+	inst, err := ubg.GenerateConnected(
+		geom.CloudConfig{Kind: geom.CloudUniform, N: n, Dim: 2, Seed: seed},
+		ubg.Config{Alpha: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.G, greedy.Spanner(inst.G, 1.5)
+}
+
+// TestStretchSampledDifferential pins the sampler against exact Stretch on
+// fuzzed instances: a full-budget sample is exactly the stretch, and a
+// partial sample is a lower bound that reaches the exact value once the
+// budget covers the edge set.
+func TestStretchSampledDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		seed int64
+	}{
+		{64, 1}, {128, 2}, {256, 3}, {512, 4}, {1024, 5},
+	} {
+		base, sp := sampleInstance(t, tc.n, tc.seed)
+		exact := Stretch(base, sp)
+		m := base.M()
+
+		// Full budget (k >= m, and k == 0 meaning "all") must be exact.
+		for _, k := range []int{0, m, m + 100} {
+			got := StretchSampled(base, sp, k, tc.seed)
+			if !got.Exact || got.Estimate != exact || got.Sampled != m || got.ViolationFraction != 0 {
+				t.Fatalf("n=%d k=%d: exact path diverges: %+v vs stretch %v", tc.n, k, got, exact)
+			}
+		}
+
+		// Partial budgets: one-sided estimate within (1, exact], never
+		// above, and the reported bound matches ln(1/δ)/k.
+		for _, k := range []int{1, 8, m / 4, m - 1} {
+			if k <= 0 {
+				continue
+			}
+			got := StretchSampled(base, sp, k, tc.seed)
+			if got.Exact {
+				t.Fatalf("n=%d k=%d < m=%d reported exact", tc.n, k, m)
+			}
+			if got.Estimate > exact || got.Estimate < 1 {
+				t.Fatalf("n=%d k=%d: estimate %v outside [1, %v]", tc.n, k, got.Estimate, exact)
+			}
+			wantF := math.Log(100) / float64(k)
+			if d := got.ViolationFraction - wantF; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("n=%d k=%d: violation fraction %v, want %v", tc.n, k, got.ViolationFraction, wantF)
+			}
+			if got.Confidence != 0.99 || got.Sampled != k || got.Edges != m {
+				t.Fatalf("n=%d k=%d: metadata wrong: %+v", tc.n, k, got)
+			}
+		}
+
+		// A half-budget sample should land close to exact in practice:
+		// stretch violations concentrate on many edges, not one. Loose,
+		// CI-stable margin — the guarantee tested above is the bound.
+		got := StretchSampled(base, sp, m/2, tc.seed)
+		if got.Estimate < 1 || got.Estimate > exact {
+			t.Fatalf("n=%d: half-budget estimate %v outside [1, %v]", tc.n, got.Estimate, exact)
+		}
+	}
+}
+
+// TestStretchSampledDeterministic requires identical output for a fixed
+// seed regardless of worker count, and different (typical) samples for
+// different seeds.
+func TestStretchSampledDeterministic(t *testing.T) {
+	base, sp := sampleInstance(t, 512, 9)
+	m := base.M()
+	k := m / 3
+
+	ref := StretchSampledParallel(base, sp, k, 1234, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := StretchSampledParallel(base, sp, k, 1234, workers)
+		if got != ref {
+			t.Fatalf("workers=%d: %+v, want %+v", workers, got, ref)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := StretchSampled(base, sp, k, 1234); got != ref {
+			t.Fatalf("repeat call diverged: %+v vs %+v", got, ref)
+		}
+	}
+
+	// Different seeds draw different edge sets (the estimates may rarely
+	// coincide; the drawn ranks must not all).
+	a := sampleEdges(base, k, 1)
+	b := sampleEdges(base, k, 2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 drew identical samples")
+	}
+}
+
+// TestSampleEdgesUniform sanity-checks the partial Fisher–Yates draw:
+// k distinct edges, all real edges of g, and every edge reachable across
+// seeds.
+func TestSampleEdgesUniform(t *testing.T) {
+	base, _ := sampleInstance(t, 128, 7)
+	m := base.M()
+	k := m / 2
+	hit := make(map[[2]int]bool)
+	for seed := int64(0); seed < 64; seed++ {
+		es := sampleEdges(base, k, seed)
+		if len(es) != k {
+			t.Fatalf("seed %d: drew %d edges, want %d", seed, len(es), k)
+		}
+		seen := make(map[[2]int]bool, k)
+		for _, e := range es {
+			key := [2]int{e.U, e.V}
+			if seen[key] {
+				t.Fatalf("seed %d: duplicate edge %v", seed, key)
+			}
+			seen[key] = true
+			if w, ok := base.EdgeWeight(e.U, e.V); !ok || w != e.W {
+				t.Fatalf("seed %d: sampled non-edge %+v", seed, e)
+			}
+			hit[key] = true
+		}
+	}
+	if len(hit) != m {
+		t.Fatalf("64 half-budget draws covered %d/%d edges; sampler looks biased", len(hit), m)
+	}
+}
+
+// TestStretchSampledDisconnected checks the +Inf path: a spanner missing
+// a bridge reports Disconnected once the severed edge is drawn.
+func TestStretchSampledDisconnected(t *testing.T) {
+	base := graph.New(4)
+	base.AddEdge(0, 1, 1)
+	base.AddEdge(1, 2, 1)
+	base.AddEdge(2, 3, 1)
+	sp := graph.New(4)
+	sp.AddEdge(0, 1, 1)
+	sp.AddEdge(2, 3, 1) // 1-2 severed
+
+	got := StretchSampled(base, sp, 0, 1)
+	if !got.Exact || !got.Disconnected || !math.IsInf(got.Estimate, 1) {
+		t.Fatalf("disconnected spanner not detected: %+v", got)
+	}
+}

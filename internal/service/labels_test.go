@@ -109,6 +109,29 @@ func TestDistanceLabelsDifferentialUnderChurn(t *testing.T) {
 	}
 }
 
+// TestLabelsSizeCap pins the auto-off guard: label construction grows
+// roughly quadratically in the deployment size, so Labels is ignored above
+// LabelsMaxN (default DefaultLabelsMaxN) unless the cap is raised or
+// removed. The cap itself is exercised with a tiny threshold — building a
+// genuinely over-cap deployment is exactly what the guard exists to avoid.
+func TestLabelsSizeCap(t *testing.T) {
+	capped := testService(t, 72, Options{Labels: true, LabelsMaxN: 48})
+	if st := capped.Stats(); st.LabelsEnabled {
+		t.Fatalf("labels built for %d nodes over a cap of 48", st.Nodes)
+	}
+	// Over-cap service still answers /distance exactly, via search.
+	checkDistances(t, capped.Snapshot(), rand.New(rand.NewSource(11)), 20)
+
+	uncapped := testService(t, 72, Options{Labels: true, LabelsMaxN: -1})
+	if st := uncapped.Stats(); !st.LabelsEnabled {
+		t.Fatal("negative LabelsMaxN should remove the cap")
+	}
+	under := testService(t, 40, Options{Labels: true, LabelsMaxN: 48})
+	if st := under.Stats(); !st.LabelsEnabled {
+		t.Fatal("labels skipped under the cap")
+	}
+}
+
 // TestDistanceWithoutLabels pins the fallback-only path: a service without
 // the oracle answers every query exactly via search, never from labels.
 func TestDistanceWithoutLabels(t *testing.T) {

@@ -100,6 +100,13 @@ type Options struct {
 	// horizon). Off by default — label construction costs a few
 	// milliseconds per rebuild, which embedded/test users may not want.
 	Labels bool
+	// LabelsMaxN caps the deployment size the oracle is built for: label
+	// construction grows roughly quadratically in the vertex count (413ms
+	// and 1744 B/vtx at n=4096), so a million-vertex boot must not sink
+	// into it silently. Above the cap Labels is ignored and /distance
+	// falls back to the search core. Zero means DefaultLabelsMaxN;
+	// negative removes the cap.
+	LabelsMaxN int
 	// Seed drives the deterministic stretch-sample shuffle.
 	Seed int64
 	// AnalyzeTimeout caps the wall-clock time of one /analyze scan
@@ -311,10 +318,24 @@ func NewFromGroup(grp *shard.Group, opts Options) (*Service, error) {
 	return newFromEngine(grp, opts)
 }
 
+// DefaultLabelsMaxN is the deployment size above which Options.Labels is
+// ignored unless LabelsMaxN raises the cap. Past ~16k vertices the first
+// label build costs tens of seconds and its slabs rival the graph itself.
+const DefaultLabelsMaxN = 16384
+
 func newFromEngine(eng engine, opts Options) (*Service, error) {
 	opts.normalize()
 	eopts := eng.Options()
 	opts.T, opts.Radius, opts.Dim = eopts.T, eopts.Radius, eng.Dim()
+	if opts.Labels {
+		max := opts.LabelsMaxN
+		if max == 0 {
+			max = DefaultLabelsMaxN
+		}
+		if max > 0 && eng.N() > max {
+			opts.Labels = false
+		}
+	}
 	s := &Service{
 		opts:      opts,
 		searchers: newSearcherPool(opts.Searchers),
@@ -671,6 +692,13 @@ type Stats struct {
 	StretchBound    float64 `json:"stretch_bound"`
 	StretchEstimate float64 `json:"stretch_estimate"`
 	StretchExact    bool    `json:"stretch_exact"`
+	// StretchSampled / StretchViolationBound qualify a non-exact estimate:
+	// the number of base edges evaluated, and the fraction of base edges
+	// that may exceed the estimate (with confidence StretchConfidence).
+	// Zero when StretchExact.
+	StretchSampled        int     `json:"stretch_sampled,omitempty"`
+	StretchViolationBound float64 `json:"stretch_violation_bound,omitempty"`
+	StretchConfidence     float64 `json:"stretch_confidence,omitempty"`
 	// BBoxLo / BBoxHi bound the live deployment (load generators draw
 	// join/move targets inside this box).
 	BBoxLo geom.Point `json:"bbox_lo"`
@@ -755,7 +783,8 @@ func (s *Service) Stats() Stats {
 			UptimeSeconds: time.Since(s.start).Seconds(),
 		}
 	}
-	est, exact := snap.StretchEstimate()
+	detail := snap.StretchDetail()
+	est, exact := detail.Estimate, detail.Exact
 	if math.IsInf(est, 1) {
 		est = -1 // JSON has no Inf; -1 flags a disconnected sampled edge
 	}
@@ -795,40 +824,43 @@ func (s *Service) Stats() Stats {
 		}
 	}
 	return Stats{
-		Version:             snap.Version,
-		Nodes:               snap.live,
-		Slots:               len(snap.Alive),
-		BaseEdges:           snap.Base.M(),
-		SpannerEdges:        snap.Spanner.M(),
-		SpannerWeight:       snap.Spanner.TotalWeight(),
-		MaxDegree:           snap.Spanner.MaxDegree(),
-		StretchBound:        snap.T,
-		StretchEstimate:     est,
-		StretchExact:        exact,
-		BBoxLo:              snap.bboxLo,
-		BBoxHi:              snap.bboxHi,
-		Routes:              s.ctr.routes.Load(),
-		Delivered:           s.ctr.delivered.Load(),
-		CacheHits:           s.ctr.cacheHits.Load(),
-		CacheMisses:         s.ctr.cacheMiss.Load(),
-		CacheEvictions:      s.ctr.cacheEvict.Load(),
-		CacheEntries:        snap.cacheEntries(),
-		MutationOps:         s.ctr.mutOps.Load(),
-		MutationBatch:       s.ctr.mutBatches.Load(),
-		UptimeSeconds:       time.Since(s.start).Seconds(),
-		LabelsEnabled:       snap.oracle != nil,
-		LabelHits:           s.ctr.labelHits.Load(),
-		LabelFallbacks:      s.ctr.labelFalls.Load(),
-		LabelEntries:        lst.Entries,
-		LabelBytesPerVertex: lst.BytesPerVertex,
-		LabelStale:          lst.Stale,
-		ShardCount:          len(shardStats),
-		Portals:             portals,
-		PortalsFresh:        portalsFresh,
-		Shards:              shardStats,
-		Analyze:             s.ctr.analyzeStats(),
-		Role:                role,
-		Ready:               s.Ready(),
-		Replica:             s.replicaStatus(),
+		Version:               snap.Version,
+		Nodes:                 snap.live,
+		Slots:                 len(snap.Alive),
+		BaseEdges:             snap.Base.M(),
+		SpannerEdges:          snap.Spanner.M(),
+		SpannerWeight:         snap.Spanner.TotalWeight(),
+		MaxDegree:             snap.Spanner.MaxDegree(),
+		StretchBound:          snap.T,
+		StretchEstimate:       est,
+		StretchExact:          exact,
+		StretchSampled:        detail.Sampled,
+		StretchViolationBound: detail.ViolationFraction,
+		StretchConfidence:     detail.Confidence,
+		BBoxLo:                snap.bboxLo,
+		BBoxHi:                snap.bboxHi,
+		Routes:                s.ctr.routes.Load(),
+		Delivered:             s.ctr.delivered.Load(),
+		CacheHits:             s.ctr.cacheHits.Load(),
+		CacheMisses:           s.ctr.cacheMiss.Load(),
+		CacheEvictions:        s.ctr.cacheEvict.Load(),
+		CacheEntries:          snap.cacheEntries(),
+		MutationOps:           s.ctr.mutOps.Load(),
+		MutationBatch:         s.ctr.mutBatches.Load(),
+		UptimeSeconds:         time.Since(s.start).Seconds(),
+		LabelsEnabled:         snap.oracle != nil,
+		LabelHits:             s.ctr.labelHits.Load(),
+		LabelFallbacks:        s.ctr.labelFalls.Load(),
+		LabelEntries:          lst.Entries,
+		LabelBytesPerVertex:   lst.BytesPerVertex,
+		LabelStale:            lst.Stale,
+		ShardCount:            len(shardStats),
+		Portals:               portals,
+		PortalsFresh:          portalsFresh,
+		Shards:                shardStats,
+		Analyze:               s.ctr.analyzeStats(),
+		Role:                  role,
+		Ready:                 s.Ready(),
+		Replica:               s.replicaStatus(),
 	}
 }

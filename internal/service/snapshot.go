@@ -2,7 +2,6 @@ package service
 
 import (
 	"fmt"
-	"math/rand"
 	"slices"
 	"sync"
 	"time"
@@ -10,6 +9,7 @@ import (
 	"topoctl/internal/geom"
 	"topoctl/internal/graph"
 	"topoctl/internal/labels"
+	"topoctl/internal/metrics"
 	"topoctl/internal/routing"
 	"topoctl/internal/shard"
 )
@@ -70,8 +70,7 @@ type Snapshot struct {
 	// /stats call), not on the swap path, and memoized for the snapshot's
 	// lifetime.
 	stretchOnce   sync.Once
-	stretchEst    float64
-	stretchExact  bool
+	stretchRes    metrics.StretchSample
 	stretchSample int
 	seed          int64
 }
@@ -322,37 +321,27 @@ func (s *Snapshot) Live() int { return s.live }
 
 // StretchEstimate measures the worst observed stretch of the spanner over
 // a deterministic sample of base edges (exact when the base graph has at
-// most the configured sample size of edges). The first call on a snapshot
+// most the configured sample size of edges). The measurement is
+// metrics.StretchSampled — a seeded partial Fisher–Yates draw over edge
+// ranks with O(k) memory, so a million-edge base graph never materializes
+// its edge list just to be spot-checked. The first call on a snapshot
 // computes it; later calls return the memoized value. The second result
-// reports whether the value is exact.
+// reports whether the value is exact; StretchDetail exposes the
+// confidence bound the sample size buys.
 func (s *Snapshot) StretchEstimate() (float64, bool) {
 	s.stretchOnce.Do(func() {
-		edges := s.Base.EdgesUnordered()
-		s.stretchExact = len(edges) <= s.stretchSample
-		if !s.stretchExact {
-			rng := rand.New(rand.NewSource(s.seed + int64(s.Version)))
-			rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-			edges = edges[:s.stretchSample]
-		}
-		srch := s.acquire()
-		worst := 1.0
-		for _, e := range edges {
-			d, ok := srch.DijkstraTarget(s.Spanner, e.U, e.V, s.T*e.W)
-			if !ok {
-				// No path within the bound: measure the true detour.
-				d, ok = srch.DijkstraTarget(s.Spanner, e.U, e.V, graph.Inf)
-				if !ok {
-					d = graph.Inf
-				}
-			}
-			if r := d / e.W; r > worst {
-				worst = r
-			}
-		}
-		s.release(srch)
-		s.stretchEst = worst
+		s.stretchRes = metrics.StretchSampled(s.Base, s.Spanner, s.stretchSample, s.seed+int64(s.Version))
 	})
-	return s.stretchEst, s.stretchExact
+	return s.stretchRes.Estimate, s.stretchRes.Exact
+}
+
+// StretchDetail returns the full sampled-stretch result for this snapshot,
+// including the population size, sample size, and the one-sided confidence
+// bound (at most ViolationFraction of base edges may exceed Estimate, with
+// probability Confidence). Memoized together with StretchEstimate.
+func (s *Snapshot) StretchDetail() metrics.StretchSample {
+	s.StretchEstimate()
+	return s.stretchRes
 }
 
 // checkNode validates that id names a live node in this snapshot.

@@ -284,19 +284,40 @@ func newGroup(points []geom.Point, opts Options) (*Group, error) {
 		g.grid.Add(gid, g.points[gid])
 		g.n++
 	}
+	// Per-shard engines are independent until their writer goroutines
+	// start, so the expensive part of construction — SEQ-GREEDY over each
+	// stripe — runs shard-parallel. Engines for large stripes take the
+	// bulk frozen-CSR base path inside dynamic.New, which is itself
+	// parallel; the two levels compose because the inner build sizes its
+	// worker pool from GOMAXPROCS, not from what is idle.
 	g.shards = make([]*shardState, opts.K)
+	engErrs := make([]error, opts.K)
+	var wg sync.WaitGroup
 	for s := range g.shards {
-		eng, err := dynamic.New(buckets[s], dopts)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			eng, err := dynamic.New(buckets[s], dopts)
+			if err != nil {
+				engErrs[s] = err
+				return
+			}
+			g.shards[s] = &shardState{eng: eng, jobs: make(chan func())}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range engErrs {
 		if err != nil {
 			return nil, err
 		}
-		sh := &shardState{eng: eng, jobs: make(chan func())}
+	}
+	for _, sh := range g.shards {
+		sh := sh
 		go func() {
 			for job := range sh.jobs {
 				job()
 			}
 		}()
-		g.shards[s] = sh
 	}
 	for gid := range points {
 		lc := g.loc[gid]
@@ -325,15 +346,46 @@ func newGroup(points []geom.Point, opts Options) (*Group, error) {
 	}
 	g.cutAdds = g.cutAdds[:0] // construction builds mirrors directly below
 
-	// Combined mutable mirrors: translated per-shard graphs + cuts.
-	g.base = graph.New(capacity)
-	g.sp = graph.New(capacity)
+	// Combined mutable mirrors: translated per-shard graphs + cuts. The
+	// final degree of every global slot is known exactly — its engine-local
+	// degree plus its cut degree — so both mirrors are pre-sized with
+	// NewWithDegrees and filled by walking adjacency rows in place; the
+	// whole assembly allocates two slabs instead of O(n + m) row growth and
+	// intermediate edge lists.
+	degB := make([]int32, capacity)
+	degS := make([]int32, capacity)
 	for _, sh := range g.shards {
-		for _, e := range sh.eng.Base().EdgesUnordered() {
-			g.base.AddEdge(sh.glob[e.U], sh.glob[e.V], e.W)
+		b, sp := sh.eng.Base(), sh.eng.Spanner()
+		for l, gid := range sh.glob {
+			if gid < 0 {
+				continue
+			}
+			degB[gid] += int32(b.Degree(l))
+			degS[gid] += int32(sp.Degree(l))
 		}
-		for _, e := range sh.eng.Spanner().EdgesUnordered() {
-			g.sp.AddEdge(sh.glob[e.U], sh.glob[e.V], e.W)
+	}
+	for u, m := range g.cutAdj {
+		degB[u] += int32(len(m))
+		degS[u] += int32(len(m))
+	}
+	g.base = graph.NewWithDegrees(degB)
+	g.sp = graph.NewWithDegrees(degS)
+	for _, sh := range g.shards {
+		b, sp := sh.eng.Base(), sh.eng.Spanner()
+		for l, gid := range sh.glob {
+			if gid < 0 {
+				continue
+			}
+			for _, h := range b.Neighbors(l) {
+				if l < h.To {
+					g.base.AddEdge(gid, sh.glob[h.To], h.W)
+				}
+			}
+			for _, h := range sp.Neighbors(l) {
+				if l < h.To {
+					g.sp.AddEdge(gid, sh.glob[h.To], h.W)
+				}
+			}
 		}
 	}
 	for u, m := range g.cutAdj {

@@ -95,78 +95,42 @@ type slab struct {
 	bandAxis int
 }
 
-// Build constructs the α-UBG over the given points. Edge weights are
-// Euclidean distances. The construction is grid-accelerated: only pairs
-// within distance 1 are ever examined.
+// Build constructs the α-UBG over the given points as a mutable graph.
+// Edge weights are Euclidean distances; only pairs within distance 1 are
+// ever examined. Build is BuildFrozen + Thaw: the construction itself runs
+// grid-cell-parallel straight into pre-sized CSR slabs (see parallel.go),
+// and the thawed copy packs its rows into one shared slab, so the whole
+// path performs O(cells) small allocations rather than O(n + m).
 func Build(points []geom.Point, cfg Config) (*graph.Graph, error) {
-	if err := cfg.Validate(); err != nil {
+	f, err := BuildFrozen(points, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Model == 0 {
-		cfg.Model = ModelAll
-	}
-	n := len(points)
-	g := graph.New(n)
-	if n == 0 {
-		return g, nil
+	return f.Thaw(), nil
+}
+
+// obstacleSlabs draws the random axis-aligned obstacles of ModelObstacle.
+// The draw sequence is pinned to cfg.Seed so obstacle instances are
+// reproducible across the sequential and parallel build paths.
+func obstacleSlabs(points []geom.Point, cfg Config) []slab {
+	nObs := cfg.Obstacles
+	if nObs <= 0 {
+		nObs = 8
 	}
 	d := points[0].Dim()
-	for i, p := range points {
-		if p.Dim() != d {
-			return nil, fmt.Errorf("ubg: point %d has dimension %d, want %d", i, p.Dim(), d)
-		}
-	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	var slabs []slab
-	if cfg.Model == ModelObstacle {
-		nObs := cfg.Obstacles
-		if nObs <= 0 {
-			nObs = 8
-		}
-		// Obstacles live in the bounding box of the points.
-		lo, hi := boundingBox(points)
-		for i := 0; i < nObs; i++ {
-			ax := rng.Intn(d)
-			bandAx := (ax + 1) % d
-			pos := lo[ax] + rng.Float64()*(hi[ax]-lo[ax])
-			c := lo[bandAx] + rng.Float64()*(hi[bandAx]-lo[bandAx])
-			half := (hi[bandAx] - lo[bandAx]) * (0.05 + 0.15*rng.Float64())
-			slabs = append(slabs, slab{axis: ax, pos: pos, band: [2]float64{c - half, c + half}, bandAxis: bandAx})
-		}
+	// Obstacles live in the bounding box of the points.
+	lo, hi := boundingBox(points)
+	slabs := make([]slab, 0, nObs)
+	for i := 0; i < nObs; i++ {
+		ax := rng.Intn(d)
+		bandAx := (ax + 1) % d
+		pos := lo[ax] + rng.Float64()*(hi[ax]-lo[ax])
+		c := lo[bandAx] + rng.Float64()*(hi[bandAx]-lo[bandAx])
+		half := (hi[bandAx] - lo[bandAx]) * (0.05 + 0.15*rng.Float64())
+		slabs = append(slabs, slab{axis: ax, pos: pos, band: [2]float64{c - half, c + half}, bandAxis: bandAx})
 	}
-	grid := geom.NewGrid(points, 1.0)
-	var nbrs []int // reused across vertices; see Grid.NeighborsAppend
-	for u := 0; u < n; u++ {
-		nbrs = grid.NeighborsAppend(nbrs[:0], points[u], 1.0, u)
-		for _, v := range nbrs {
-			if v <= u {
-				continue // handle each unordered pair once
-			}
-			dist := geom.Dist(points[u], points[v])
-			if dist > 1 {
-				continue
-			}
-			keep := dist <= cfg.Alpha
-			if !keep {
-				switch cfg.Model {
-				case ModelAll:
-					keep = true
-				case ModelNone:
-					keep = false
-				case ModelBernoulli:
-					keep = pairRand(cfg.Seed, u, v) < cfg.P
-				case ModelFalloff:
-					keep = pairRand(cfg.Seed, u, v) < (1-dist)/(1-cfg.Alpha)
-				case ModelObstacle:
-					keep = !blocked(points[u], points[v], slabs)
-				}
-			}
-			if keep {
-				g.AddEdge(u, v, dist)
-			}
-		}
-	}
-	return g, nil
+	return slabs
 }
 
 // pairRand returns a deterministic pseudo-random float in [0,1) for an

@@ -265,6 +265,11 @@ type NetworkSpec struct {
 	GreyZone ubg.Model
 	// GreyP is the Bernoulli probability for ubg.ModelBernoulli.
 	GreyP float64
+	// Deg targets this expected base degree: the bounding-box side is
+	// derived from it (ubg.DensitySide), which is how a million-vertex
+	// instance keeps its edge count — and memory — linear in N. Zero keeps
+	// the generator default (≈ 8).
+	Deg float64
 }
 
 // Network is a generated instance: a point embedding and the α-UBG over it.
@@ -287,8 +292,12 @@ func RandomNetwork(spec NetworkSpec) (*Network, error) {
 	if spec.GreyZone == 0 {
 		spec.GreyZone = ubg.ModelAll
 	}
+	var side float64
+	if spec.Deg > 0 {
+		side = ubg.DensitySide(spec.N, spec.Dim, spec.Alpha, spec.Deg)
+	}
 	inst, err := ubg.GenerateConnected(
-		geom.CloudConfig{Kind: spec.Cloud, N: spec.N, Dim: spec.Dim, Seed: spec.Seed},
+		geom.CloudConfig{Kind: spec.Cloud, N: spec.N, Dim: spec.Dim, Seed: spec.Seed, Side: side},
 		ubg.Config{Alpha: spec.Alpha, Model: spec.GreyZone, P: spec.GreyP, Seed: spec.Seed},
 	)
 	if err != nil {
